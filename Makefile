@@ -1,0 +1,38 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench tables micro examples clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+test-output:
+	dune runtest --force --no-buffer 2>&1 | tee test_output.txt
+
+bench:
+	dune exec bench/main.exe
+
+bench-output:
+	dune exec bench/main.exe 2>&1 | tee bench_output.txt
+
+tables:
+	dune exec bench/main.exe -- tables
+
+micro:
+	dune exec bench/main.exe -- micro
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/paper_walkthrough.exe
+	dune exec examples/server_farm.exe
+	dune exec examples/video_decoding.exe
+	dune exec examples/online_comparison.exe
+	dune exec examples/discrete_dvfs.exe
+	dune exec examples/capacity_planning.exe
+
+clean:
+	dune clean
