@@ -1,0 +1,1 @@
+examples/capacity_planning.ml: Format List Ss_core Ss_model Ss_numeric Ss_workload

@@ -1,0 +1,1 @@
+examples/discrete_dvfs.ml: Float Format List Ss_core Ss_model Ss_numeric Ss_workload

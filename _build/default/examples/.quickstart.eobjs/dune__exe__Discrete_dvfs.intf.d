@@ -1,0 +1,1 @@
+examples/discrete_dvfs.mli:

@@ -1,0 +1,1 @@
+examples/online_comparison.ml: Array Format List Printf Ss_core Ss_model Ss_numeric Ss_online Ss_workload

@@ -1,0 +1,1 @@
+examples/paper_walkthrough.ml: Array Format List Printf Ss_convex Ss_core Ss_model Ss_numeric Ss_online String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Ss_convex Ss_core Ss_model Ss_online

@@ -1,0 +1,1 @@
+examples/server_farm.ml: Array Format Ss_core Ss_model Ss_numeric Ss_online Ss_workload

@@ -1,0 +1,1 @@
+examples/video_decoding.ml: Array Format List Printf Ss_core Ss_model Ss_numeric Ss_workload String

@@ -1,0 +1,63 @@
+(* A realistic DVFS deployment: finite frequency menu + sleep states.
+
+     dune exec examples/discrete_dvfs.exe
+
+   The theory assumes a continuum of speeds and free idling; real silicon
+   offers a handful of P-states and burns static power unless cores are
+   parked.  This example takes the optimal continuous schedule and
+   (1) quantizes it onto a laptop-like frequency menu (0.8-3.5 "GHz"),
+   (2) manages idle gaps with a sleep state,
+   and reports how close the deployable schedule stays to the ideal. *)
+
+module Job = Ss_model.Job
+module Power = Ss_model.Power
+module Schedule = Ss_model.Schedule
+module Table = Ss_numeric.Table
+
+let () =
+  let inst =
+    Ss_workload.Generators.long_short ~seed:7 ~machines:4 ~long_jobs:4 ~short_jobs:10
+      ~horizon:20. ()
+  in
+  let power = Power.cube in
+  let sched = Ss_core.Offline.optimal_schedule inst in
+  Format.printf "continuous optimum: energy %.4g, peak speed %.3f@.@."
+    (Schedule.energy power sched) (Schedule.max_speed sched);
+
+  (* A laptop-like P-state table, scaled to the workload's peak. *)
+  let peak = Schedule.max_speed sched in
+  let ghz = [ 0.8; 1.2; 1.6; 2.0; 2.4; 2.8; 3.1; 3.5 ] in
+  let menu = Ss_core.Discrete.make_levels (List.map (fun f -> peak *. f /. 3.5) ghz) in
+  let quantized = Ss_core.Discrete.quantize menu sched in
+  let cmp = Ss_core.Discrete.compare_energy power menu sched in
+  Format.printf "8-level menu: energy %.4g (penalty %.2f%%), feasible: %b@.@."
+    cmp.discrete (100. *. cmp.penalty)
+    (Schedule.is_feasible inst quantized);
+
+  (* Gantt views: continuous vs quantized. *)
+  Format.printf "continuous optimum:@.%s@."
+    (Ss_model.Render.render ~config:{ width = 64; show_speeds = true } sched);
+  Format.printf "quantized onto the menu:@.%s@."
+    (Ss_model.Render.render ~config:{ width = 64; show_speeds = true } quantized);
+
+  (* Sleep management across idle-power / wake-cost combinations. *)
+  let rows =
+    List.map
+      (fun (idle_power, wake_energy) ->
+        let d = Ss_core.Sleep.device ~idle_power ~wake_energy in
+        let r = Ss_core.Sleep.analyze power d quantized in
+        [
+          Table.cell_f idle_power;
+          Table.cell_f wake_energy;
+          Table.cell_f ~digits:4 (r.dynamic +. r.always_on);
+          Table.cell_f ~digits:4 (r.dynamic +. r.ski_rental);
+          Table.cell_f ~digits:4 (r.dynamic +. r.optimal);
+          Table.cell_pct ((r.always_on -. r.optimal) /. Float.max 1e-9 (r.dynamic +. r.always_on));
+        ])
+      [ (0.05, 0.2); (0.1, 0.5); (0.2, 0.5); (0.2, 2.0) ]
+  in
+  Table.print
+    (Table.make
+       ~title:"total energy (dynamic + static) under idle-management policies"
+       ~headers:[ "idle P"; "wake E"; "always-on"; "ski-rental"; "opt sleep"; "saved" ]
+       rows)

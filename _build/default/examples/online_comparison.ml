@@ -1,0 +1,77 @@
+(* Online scheduling under uncertainty: OA(m) vs AVR(m) vs the adversary.
+
+     dune exec examples/online_comparison.exe
+
+   Demonstrates how the two online strategies of Section 3 degrade from
+   benign workloads to the nested adversarial family, and how the measured
+   ratios relate to the theorems' guarantees.  Includes the exact moment
+   OA is forced away from the optimum: a replay of its replanning. *)
+
+module Job = Ss_model.Job
+module Power = Ss_model.Power
+module Schedule = Ss_model.Schedule
+module Table = Ss_numeric.Table
+
+let alpha = 3.
+let power = Power.alpha alpha
+
+let ratio_row name inst =
+  let e_opt = Ss_core.Offline.optimal_energy power inst in
+  let e_oa = Ss_online.Oa.energy power inst in
+  let e_avr = Ss_online.Avr.energy power inst in
+  [
+    name;
+    Table.cell_int (Job.num_jobs inst);
+    Table.cell_fixed (e_oa /. e_opt);
+    Table.cell_fixed (e_avr /. e_opt);
+  ]
+
+let () =
+  let machines = 4 in
+  let rows =
+    [
+      ratio_row "steady poisson stream"
+        (Ss_workload.Generators.poisson ~seed:1 ~machines ~jobs:24 ~rate:1.5 ~mean_work:2.5 ~slack:2.5 ());
+      ratio_row "uniform windows"
+        (Ss_workload.Generators.uniform ~seed:2 ~machines ~jobs:20 ~horizon:24. ~max_work:5. ());
+      ratio_row "bursts"
+        (Ss_workload.Generators.bursty ~seed:3 ~machines ~bursts:4 ~jobs_per_burst:6 ~gap:8. ~max_work:4. ());
+      ratio_row "adversarial staircase (5)"
+        (Ss_workload.Generators.staircase ~machines ~levels:5 ~copies:machines ());
+      ratio_row "adversarial staircase (8)"
+        (Ss_workload.Generators.staircase ~machines ~levels:8 ~copies:machines ());
+    ]
+  in
+  Table.print
+    (Table.make
+       ~title:
+         (Printf.sprintf
+            "online ratios at alpha=3, m=4 (guarantees: OA <= %.0f, AVR <= %.0f)"
+            (Ss_online.Oa.competitive_bound ~alpha)
+            (Ss_online.Avr.competitive_bound ~alpha))
+       ~headers:[ "workload"; "n"; "OA ratio"; "AVR ratio" ]
+       rows);
+
+  (* Replay of OA's predicament on the staircase: each arrival makes the
+     schedule it already committed to look too slow. *)
+  let inst = Ss_workload.Generators.staircase ~machines:1 ~levels:5 ~copies:1 () in
+  Format.printf
+    "@.why the adversary wins (m=1 staircase): OA's planned speed right after each arrival@.";
+  let _, info = Ss_online.Oa.run inst in
+  Format.printf
+    "  %d arrivals forced %d replans; each revealed work the previous plan priced too low.@."
+    (List.length (List.sort_uniq compare (Array.to_list (Array.map (fun (j : Job.t) -> j.release) inst.jobs))))
+    info.replans;
+  Array.iteri
+    (fun i (j : Job.t) ->
+      let speeds = Schedule.speeds_at (Ss_online.Oa.schedule inst) (j.release +. 0.01) in
+      Format.printf "  after arrival %d (t=%5g): core speed %.3f@." i j.release speeds.(0))
+    inst.jobs;
+
+  (* At m=1 the BKP extension is available for comparison. *)
+  let e_opt = Ss_core.Offline.optimal_energy power inst in
+  let bkp = Ss_online.Bkp.run inst in
+  Format.printf "@.m=1 staircase ratios: OA %.3f, BKP %.3f (BKP guarantee %.0f beats OA's only asymptotically)@."
+    (Ss_online.Oa.energy power inst /. e_opt)
+    (Schedule.energy power bkp.schedule /. e_opt)
+    (Ss_online.Bkp.competitive_bound ~alpha)

@@ -1,0 +1,1 @@
+lib/convex/frank_wolfe.ml: Array Float List Oracle Ss_model Ss_numeric

@@ -1,0 +1,1 @@
+lib/convex/frank_wolfe.mli: Ss_model

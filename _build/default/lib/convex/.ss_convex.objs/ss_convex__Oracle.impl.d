@@ -1,0 +1,1 @@
+lib/convex/oracle.ml: Array Float Ss_model Ss_numeric

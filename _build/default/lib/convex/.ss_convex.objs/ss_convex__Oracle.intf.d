@@ -1,0 +1,1 @@
+lib/convex/oracle.mli: Ss_model

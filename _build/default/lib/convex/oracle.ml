@@ -1,0 +1,83 @@
+(* Per-interval convex oracle.
+
+   Given one grid interval of length L with m processors and a work amount
+   w_k for each active job, the minimal energy to complete those works
+   inside the interval is
+
+     min  sum_k t_k P(w_k / t_k) + P(0) (mL - sum_k t_k)
+     s.t. 0 <= t_k <= L,  sum_k t_k <= mL,
+
+   (a job may not run on two processors, hence t_k <= L; total processor
+   time is mL; idle time burns P(0)).  Writing Q = P - P(0), the map
+   t -> t Q(w/t) is non-increasing for convex non-decreasing P, so every
+   t_k is as large as possible: the optimum assigns speeds
+
+     s_k = max(w_k / L, sigma)
+
+   with a common water level sigma chosen so that total busy time hits mL
+   when the budget binds (and sigma = 0 otherwise).  Equivalently the
+   marginal g(s) = s P'(s) - P(s) is equalized across uncapped jobs — the
+   continuous analogue of the paper's equal-speed sets.  For P = s^alpha
+   the level set is literally "equal speed", matching Lemma 3.
+
+   The derivative of the optimal value with respect to w_k is P'(s_k)
+   (envelope theorem); Frank-Wolfe consumes it as the gradient. *)
+
+module Power = Ss_model.Power
+
+type result = {
+  energy : float;
+  speeds : float array;     (* per input job; 0 for zero work *)
+  times : float array;      (* busy time per input job *)
+  sigma : float;            (* water level; 0 when capacity is slack *)
+}
+
+let busy_time works l sigma =
+  Ss_numeric.Kahan.sum_f (Array.length works) (fun k ->
+      if works.(k) <= 0. then 0.
+      else if sigma <= 0. then l
+      else Float.min l (works.(k) /. sigma))
+
+let solve power ~l ~machines works =
+  if l <= 0. then invalid_arg "Oracle.solve: interval length <= 0";
+  if machines <= 0 then invalid_arg "Oracle.solve: machines <= 0";
+  Array.iter (fun w -> if w < 0. then invalid_arg "Oracle.solve: negative work") works;
+  let n = Array.length works in
+  let budget = float_of_int machines *. l in
+  let positive = Array.fold_left (fun acc w -> if w > 0. then acc + 1 else acc) 0 works in
+  let sigma =
+    if float_of_int positive *. l <= budget then 0.
+    else begin
+      (* Monotone root find: busy_time is non-increasing in sigma. *)
+      let hi0 =
+        Array.fold_left (fun acc w -> Float.max acc (w /. l)) 0. works
+        +. (Ss_numeric.Kahan.sum_array works /. budget)
+        +. 1.
+      in
+      let lo = ref 0. and hi = ref hi0 in
+      for _ = 1 to 200 do
+        let mid = 0.5 *. (!lo +. !hi) in
+        if busy_time works l mid > budget then lo := mid else hi := mid
+      done;
+      !hi
+    end
+  in
+  let speeds = Array.make n 0. in
+  let times = Array.make n 0. in
+  for k = 0 to n - 1 do
+    if works.(k) > 0. then begin
+      let s = Float.max (works.(k) /. l) sigma in
+      speeds.(k) <- s;
+      times.(k) <- works.(k) /. s
+    end
+  done;
+  let busy =
+    Ss_numeric.Kahan.sum_f n (fun k ->
+        Power.eval power speeds.(k) *. times.(k))
+  in
+  let idle_time = budget -. Ss_numeric.Kahan.sum_array times in
+  let idle = Power.eval power 0. *. Float.max 0. idle_time in
+  { energy = busy +. idle; speeds; times; sigma }
+
+let gradient power result =
+  Array.map (fun s -> Power.deriv power s) result.speeds

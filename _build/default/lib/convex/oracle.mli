@@ -1,0 +1,23 @@
+(** Per-interval convex oracle: minimal energy to process given work
+    amounts inside one grid interval on [machines] processors, with the
+    per-job time cap [t_k <= l] and aggregate cap [sum t_k <= machines*l].
+
+    The optimum is a water-filling: speeds [max(w_k/l, sigma)] with a
+    common level [sigma] (0 when the aggregate cap is slack).  For
+    [P = s^alpha] this is exactly the equal-speed structure of the paper's
+    Lemma 3. *)
+
+type result = {
+  energy : float;
+  speeds : float array;
+  times : float array;
+  sigma : float;
+}
+
+val solve : Ss_model.Power.t -> l:float -> machines:int -> float array -> result
+(** @raise Invalid_argument on non-positive length/machines or negative
+    work. *)
+
+val gradient : Ss_model.Power.t -> result -> float array
+(** [P'(s_k)] per job: derivative of the optimal interval energy with
+    respect to each work amount (envelope theorem). *)

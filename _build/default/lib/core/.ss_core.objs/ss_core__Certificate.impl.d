@@ -1,0 +1,1 @@
+lib/core/certificate.ml: Float Format List Lower_bounds Offline Printf Ss_convex Ss_model Ss_numeric Yds

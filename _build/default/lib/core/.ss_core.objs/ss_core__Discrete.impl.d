@@ -1,0 +1,1 @@
+lib/core/discrete.ml: Array Float List Printf Ss_model

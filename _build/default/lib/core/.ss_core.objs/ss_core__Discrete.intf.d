@@ -1,0 +1,1 @@
+lib/core/discrete.mli: Ss_model

@@ -1,0 +1,1 @@
+lib/core/feasibility.ml: Array Float List Offline Ss_flow Ss_model

@@ -1,0 +1,1 @@
+lib/core/feasibility.mli: Ss_model

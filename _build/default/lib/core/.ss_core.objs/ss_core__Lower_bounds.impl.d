@@ -1,0 +1,1 @@
+lib/core/lower_bounds.ml: Array Float List Ss_model Ss_numeric Yds

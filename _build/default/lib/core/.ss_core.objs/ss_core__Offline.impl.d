@@ -1,0 +1,1 @@
+lib/core/offline.ml: Array Hashtbl List Ss_flow Ss_model Ss_numeric

@@ -1,0 +1,1 @@
+lib/core/offline.mli: Ss_model Ss_numeric

@@ -1,0 +1,1 @@
+lib/core/pwl_baseline.ml: Array Float List Ss_lp Ss_model

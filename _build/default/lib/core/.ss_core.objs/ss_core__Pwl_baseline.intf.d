@@ -1,0 +1,1 @@
+lib/core/pwl_baseline.mli: Ss_model

@@ -1,0 +1,1 @@
+lib/core/sleep.ml: Array Float List Ss_model Ss_numeric

@@ -1,0 +1,1 @@
+lib/core/sleep.mli: Ss_model

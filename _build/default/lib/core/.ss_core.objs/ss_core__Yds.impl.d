@@ -1,0 +1,1 @@
+lib/core/yds.ml: Array Float List Ss_model Ss_numeric

@@ -1,0 +1,1 @@
+lib/core/yds.mli: Ss_model

@@ -1,0 +1,96 @@
+(* One-call certification of an offline solution.
+
+   Bundles every independent check in the repository into a single
+   structured verdict:
+
+   - feasibility of the produced schedule (the model-layer auditor),
+   - agreement with the exact-rational replay of the algorithm,
+   - membership in the Frank-Wolfe convex band [lb, ub],
+   - consistency with every closed-form lower bound,
+   - agreement with YDS when m = 1.
+
+   Used by the CLI (`schedule --certify`) and by release checklists: if
+   [certified] is true, the schedule is optimal beyond reasonable doubt
+   without trusting any single code path. *)
+
+module Job = Ss_model.Job
+module Power = Ss_model.Power
+module Schedule = Ss_model.Schedule
+
+type check = {
+  name : string;
+  passed : bool;
+  detail : string;
+}
+
+type report = {
+  energy : float;
+  checks : check list;
+  certified : bool;  (* all checks passed *)
+}
+
+let relclose ?(tol = 1e-6) a b = Float.abs (a -. b) <= tol *. (1. +. Float.abs b)
+
+let certify ?(fw_iterations = 200) ~alpha (inst : Job.instance) =
+  if alpha <= 1. then invalid_arg "Certificate.certify: alpha <= 1";
+  let power = Power.alpha alpha in
+  let run = Offline.run inst in
+  let sched = Offline.schedule_of_run ~machines:inst.machines run in
+  let energy = Schedule.energy power sched in
+  let checks = ref [] in
+  let add name passed detail = checks := { name; passed; detail } :: !checks in
+
+  (* 1. Feasibility. *)
+  let errors = Schedule.check inst sched in
+  add "schedule feasible" (errors = [])
+    (if errors = [] then "all windows, works and exclusivity constraints hold"
+     else Printf.sprintf "%d violations" (List.length errors));
+
+  (* 2. Exact-rational replay. *)
+  let exact = Offline.solve_exact inst in
+  let replay_ok =
+    List.length run.schedule_phases = List.length exact.schedule_phases
+    && List.for_all2
+         (fun (a : Offline.F.phase) (b : Offline.Exact.phase) ->
+           relclose ~tol:1e-9 a.speed (Ss_numeric.Rational.to_float b.speed)
+           && a.members = b.members)
+         run.schedule_phases exact.schedule_phases
+  in
+  add "exact-rational replay agrees" replay_ok
+    (Printf.sprintf "%d speed classes" (List.length run.schedule_phases));
+
+  (* 3. Frank-Wolfe band. *)
+  let fw = Ss_convex.Frank_wolfe.solve ~iterations:fw_iterations power inst in
+  let slack = 5e-3 *. Float.max 1. fw.energy in
+  let in_band = energy <= fw.energy +. slack && energy >= fw.lower_bound -. slack in
+  add "inside independent convex band" in_band
+    (Printf.sprintf "[%.6g, %.6g] vs %.6g" fw.lower_bound fw.energy energy);
+
+  (* 4. Closed-form lower bounds. *)
+  let lb = Lower_bounds.best ~alpha inst in
+  add "above closed-form lower bounds" (energy >= lb -. (1e-6 *. lb))
+    (Printf.sprintf "best bound %.6g" lb);
+
+  (* 5. YDS at m = 1. *)
+  if inst.machines = 1 then begin
+    let e_yds = Yds.energy power (Yds.solve inst) in
+    add "matches YDS (m=1)" (relclose energy e_yds) (Printf.sprintf "YDS %.6g" e_yds)
+  end;
+
+  (* 6. Structural invariants: strictly decreasing class speeds. *)
+  let rec decreasing = function
+    | (a : Offline.F.phase) :: (b :: _ as rest) -> a.speed > b.speed && decreasing rest
+    | _ -> true
+  in
+  add "class speeds strictly decreasing" (decreasing run.schedule_phases) "Lemma 1-3 structure";
+
+  let checks = List.rev !checks in
+  { energy; checks; certified = List.for_all (fun c -> c.passed) checks }
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>energy %.6g — %s@," r.energy
+    (if r.certified then "CERTIFIED optimal" else "NOT certified");
+  List.iter
+    (fun c -> Format.fprintf ppf "  [%s] %s (%s)@," (if c.passed then "ok" else "FAIL") c.name c.detail)
+    r.checks;
+  Format.fprintf ppf "@]"

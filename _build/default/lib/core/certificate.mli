@@ -1,0 +1,20 @@
+(** One-call certification: runs every independent oracle in the
+    repository against a freshly computed offline optimum and reports a
+    structured verdict. *)
+
+type check = {
+  name : string;
+  passed : bool;
+  detail : string;
+}
+
+type report = {
+  energy : float;
+  checks : check list;
+  certified : bool;
+}
+
+val certify : ?fw_iterations:int -> alpha:float -> Ss_model.Job.instance -> report
+(** @raise Invalid_argument on invalid instances or [alpha <= 1]. *)
+
+val pp : Format.formatter -> report -> unit

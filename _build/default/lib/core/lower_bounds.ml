@@ -1,0 +1,68 @@
+(* Energy lower bounds used to sanity-band every algorithm's output.
+
+   density_bound: processing each job alone at its density δ_i over its
+   whole window is the cheapest conceivable treatment of that job when
+   P is convex with P(0) = 0 (Jensen over the window); summing over jobs
+   lower-bounds OPT.  This is the bound used in the Theorem 3 proof for
+   the second term of inequality (9).
+
+   single_processor_bound: m^{1-α} E¹_OPT <= E_OPT (final step of the
+   Theorem 3 proof, inequality (10)); E¹_OPT comes from YDS. *)
+
+module Job = Ss_model.Job
+module Power = Ss_model.Power
+
+let density_bound power (inst : Job.instance) =
+  if Power.eval power 0. > 0. then
+    invalid_arg "Lower_bounds.density_bound: requires P(0) = 0";
+  Ss_numeric.Kahan.sum_f (Array.length inst.jobs) (fun i ->
+      let j = inst.jobs.(i) in
+      Power.eval power (Job.density j) *. Job.span j)
+
+let single_processor_bound ~alpha (inst : Job.instance) =
+  if alpha <= 1. then invalid_arg "Lower_bounds.single_processor_bound: alpha <= 1";
+  let e1 = Yds.energy (Power.alpha alpha) (Yds.solve inst) in
+  (float_of_int inst.machines ** (1. -. alpha)) *. e1
+
+(* Critical-interval bound: the work that must complete inside [a, b]
+   (jobs whose whole window fits) occupies m processors for b - a time, so
+   convexity forces at least m (b-a) P(W / (m (b-a))) energy.  Maximized
+   over all O(n^2) release/deadline pairs.  The multi-processor analogue of
+   the YDS critical-interval intensity. *)
+let critical_interval_bound power (inst : Job.instance) =
+  if Power.eval power 0. > 0. then
+    invalid_arg "Lower_bounds.critical_interval_bound: requires P(0) = 0";
+  let releases =
+    Array.to_list inst.jobs |> List.map (fun (j : Job.t) -> j.release)
+    |> List.sort_uniq Float.compare
+  in
+  let deadlines =
+    Array.to_list inst.jobs |> List.map (fun (j : Job.t) -> j.deadline)
+    |> List.sort_uniq Float.compare
+  in
+  let m = float_of_int inst.machines in
+  List.fold_left
+    (fun best a ->
+      List.fold_left
+        (fun best b ->
+          if b <= a then best
+          else begin
+            let work =
+              Ss_numeric.Kahan.sum_f (Array.length inst.jobs) (fun i ->
+                  let j = inst.jobs.(i) in
+                  if a <= j.release && j.deadline <= b then j.work else 0.)
+            in
+            if work <= 0. then best
+            else begin
+              let span = b -. a in
+              Float.max best (m *. span *. Power.eval power (work /. (m *. span)))
+            end
+          end)
+        best deadlines)
+    0. releases
+
+let best ~alpha inst =
+  let power = Power.alpha alpha in
+  Float.max
+    (critical_interval_bound power inst)
+    (Float.max (density_bound power inst) (single_processor_bound ~alpha inst))

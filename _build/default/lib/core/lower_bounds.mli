@@ -1,0 +1,17 @@
+(** Energy lower bounds (no schedule computation involved). *)
+
+val density_bound : Ss_model.Power.t -> Ss_model.Job.instance -> float
+(** [sum_i P(δ_i)·(d_i−r_i)] — valid for convex [P] with [P(0) = 0]
+    (used inside the Theorem 3 proof).
+    @raise Invalid_argument when [P(0) > 0]. *)
+
+val single_processor_bound : alpha:float -> Ss_model.Job.instance -> float
+(** [m^(1−α) · E¹_OPT] via YDS — inequality (10) of the paper. *)
+
+val critical_interval_bound : Ss_model.Power.t -> Ss_model.Job.instance -> float
+(** Max over window pairs [(a, b)] of [m·(b−a)·P(W(a,b) / (m·(b−a)))] —
+    the multi-processor analogue of the YDS critical-interval intensity.
+    Requires [P(0) = 0]. *)
+
+val best : alpha:float -> Ss_model.Job.instance -> float
+(** Max of all bounds above. *)

@@ -1,0 +1,511 @@
+(* The paper's main contribution (Section 2, Fig. 2): a combinatorial
+   polynomial-time algorithm for energy-optimal multi-processor schedules
+   with migration, built on repeated maximum-flow computations.
+
+   The algorithm constructs the optimal schedule speed level by speed
+   level.  Phase i conjectures that all remaining jobs form the next
+   equal-speed class J_i, reserves m_j = min(n_j, m - used_j) processors
+   per grid interval (Lemma 3; note the paper's Fig. 2 line 6 omits the
+   "m -" by an obvious typo), sets the uniform speed s = W / P, and asks a
+   max-flow feasibility question on the network of Fig. 1:
+
+       source --(w_k / s)--> job k --(|I_j|)--> interval j --(m_j |I_j|)--> sink.
+
+   If the flow saturates the source (equivalently the sink, both sides
+   total P), the conjecture is correct and the flow values on job->interval
+   edges are the execution times t_kj.  Otherwise some sink edge is
+   unsaturated; any job with a non-full edge into such an interval provably
+   does not belong to J_i (Lemma 4) and is removed for the next round.
+
+   The module is a functor over an ordered field: instantiated at floats
+   for speed and at exact rationals to certify the float run. *)
+
+module Make (F : Ss_numeric.Field.S) = struct
+  module Flow = Ss_flow.Maxflow.Make (F)
+
+  type job = { release : F.t; deadline : F.t; work : F.t }
+
+  (* Ablation knobs (defaults reproduce the paper's presentation).
+     [flow_algorithm]: which max-flow routine answers the per-round
+     feasibility question — the answer is identical, only speed differs.
+     [victim_rule]: which provably-removable job to discard on a failed
+     round; Lemma 4 shows any unsaturated choice is sound, so this only
+     affects the round count. *)
+  type flow_algorithm = Dinic | Edmonds_karp | Push_relabel
+  type victim_rule = Least_flow | First_found
+
+  type phase = {
+    members : int list;             (* job ids of this speed class *)
+    speed : F.t;
+    procs : int array;              (* m_ij, indexed by grid interval *)
+    alloc : (int * int * F.t) list; (* (job, interval, execution time) *)
+  }
+
+  type stats = {
+    phases : int;
+    rounds : int;                   (* max-flow computations *)
+    removals : int;
+  }
+
+  type run = {
+    breakpoints : F.t array;        (* sorted grid times, length k+1 *)
+    schedule_phases : phase list;   (* in decreasing speed order *)
+    stats : stats;
+  }
+
+  exception Stranded_job of int
+  (* Raised when a remaining job has no reservable processor time anywhere
+     in its window.  Cannot happen for valid instances (speeds are
+     unbounded); it would indicate a bug, so we fail loudly. *)
+
+  let sort_uniq_times jobs =
+    let all =
+      Array.to_list jobs
+      |> List.concat_map (fun j -> [ j.release; j.deadline ])
+      |> List.sort_uniq F.compare
+    in
+    Array.of_list all
+
+  let active ~job ~lo ~hi =
+    F.compare job.release lo <= 0 && F.compare hi job.deadline <= 0
+
+  let solve ?(flow_algorithm = Dinic) ?(victim_rule = Least_flow) ~machines
+      (jobs : job array) =
+    if machines <= 0 then invalid_arg "Offline.solve: machines <= 0";
+    Array.iter
+      (fun j ->
+        if F.compare j.release j.deadline >= 0 then
+          invalid_arg "Offline.solve: release >= deadline";
+        if F.sign j.work <= 0 then invalid_arg "Offline.solve: work <= 0")
+      jobs;
+    let n = Array.length jobs in
+    let breakpoints = sort_uniq_times jobs in
+    let k = Array.length breakpoints - 1 in
+    let widths = Array.init k (fun j -> F.sub breakpoints.(j + 1) breakpoints.(j)) in
+    let is_active i j =
+      active ~job:jobs.(i) ~lo:breakpoints.(j) ~hi:breakpoints.(j + 1)
+    in
+    (* Processors already reserved by earlier (faster) phases. *)
+    let used = Array.make k 0 in
+    let remaining = Array.make n true in
+    let remaining_count = ref n in
+    let phases = ref [] in
+    let rounds = ref 0 in
+    let removals = ref 0 in
+    let phase_count = ref 0 in
+    while !remaining_count > 0 do
+      incr phase_count;
+      (* Candidate set for this phase; shrinks by one job per failed
+         round. *)
+      let candidate = Array.copy remaining in
+      let cand_count = ref !remaining_count in
+      let accepted = ref None in
+      while !accepted = None do
+        incr rounds;
+        (* Lemma 3 processor reservation for the current candidate set. *)
+        let procs = Array.make k 0 in
+        for j = 0 to k - 1 do
+          let nj = ref 0 in
+          for i = 0 to n - 1 do
+            if candidate.(i) && is_active i j then incr nj
+          done;
+          procs.(j) <- min !nj (machines - used.(j))
+        done;
+        let total_time =
+          Array.to_list (Array.init k (fun j -> F.mul (F.of_int procs.(j)) widths.(j)))
+          |> List.fold_left F.add F.zero
+        in
+        let total_work =
+          let acc = ref F.zero in
+          for i = 0 to n - 1 do
+            if candidate.(i) then acc := F.add !acc jobs.(i).work
+          done;
+          !acc
+        in
+        if F.sign total_time <= 0 then begin
+          (* Some candidate job has zero reservable time everywhere. *)
+          let offender = ref (-1) in
+          for i = n - 1 downto 0 do
+            if candidate.(i) then offender := i
+          done;
+          raise (Stranded_job !offender)
+        end;
+        let speed = F.div total_work total_time in
+        (* Build the Fig. 1 network: 0 = source, 1 = sink, then jobs, then
+           intervals with procs > 0. *)
+        let job_vertex = Array.make n (-1) in
+        let next = ref 2 in
+        for i = 0 to n - 1 do
+          if candidate.(i) then begin
+            job_vertex.(i) <- !next;
+            incr next
+          end
+        done;
+        let ivl_vertex = Array.make k (-1) in
+        for j = 0 to k - 1 do
+          if procs.(j) > 0 then begin
+            ivl_vertex.(j) <- !next;
+            incr next
+          end
+        done;
+        let g = Flow.create ~n:!next in
+        let source_edge = Array.make n (-1) in
+        let sink_edge = Array.make k (-1) in
+        let job_edges = Hashtbl.create 64 in
+        for i = 0 to n - 1 do
+          if candidate.(i) then
+            source_edge.(i) <-
+              Flow.add_edge g ~src:0 ~dst:job_vertex.(i) ~cap:(F.div jobs.(i).work speed)
+        done;
+        for i = 0 to n - 1 do
+          if candidate.(i) then
+            for j = 0 to k - 1 do
+              if procs.(j) > 0 && is_active i j then begin
+                let e = Flow.add_edge g ~src:job_vertex.(i) ~dst:ivl_vertex.(j) ~cap:widths.(j) in
+                Hashtbl.replace job_edges (i, j) e
+              end
+            done
+        done;
+        for j = 0 to k - 1 do
+          if procs.(j) > 0 then
+            sink_edge.(j) <-
+              Flow.add_edge g ~src:ivl_vertex.(j) ~dst:1
+                ~cap:(F.mul (F.of_int procs.(j)) widths.(j))
+        done;
+        let value =
+          match flow_algorithm with
+          | Dinic -> Flow.dinic g ~source:0 ~sink:1
+          | Edmonds_karp -> Flow.edmonds_karp g ~source:0 ~sink:1
+          | Push_relabel -> Flow.push_relabel g ~source:0 ~sink:1
+        in
+        if F.equal_approx value total_time then begin
+          (* Conjecture accepted: extract t_kj from the edge flows. *)
+          let alloc = ref [] in
+          Hashtbl.iter
+            (fun (i, j) e ->
+              let t = Flow.flow_on g e in
+              if F.sign t > 0 then alloc := (i, j, t) :: !alloc)
+            job_edges;
+          let members = ref [] in
+          for i = n - 1 downto 0 do
+            if candidate.(i) then members := i :: !members
+          done;
+          accepted := Some { members = !members; speed; procs; alloc = !alloc }
+        end
+        else begin
+          (* Find an unsaturated sink edge, then the least-filled incoming
+             job edge: that job is not in J_i (Lemma 4). *)
+          let bad_interval = ref (-1) in
+          (try
+             for j = 0 to k - 1 do
+               if procs.(j) > 0 then begin
+                 let cap = F.mul (F.of_int procs.(j)) widths.(j) in
+                 let f = Flow.flow_on g sink_edge.(j) in
+                 if not (F.equal_approx f cap) then begin
+                   bad_interval := j;
+                   raise Exit
+                 end
+               end
+             done
+           with Exit -> ());
+          if !bad_interval < 0 then
+            failwith "Offline.solve: flow deficit without unsaturated sink edge";
+          let j0 = !bad_interval in
+          let victim = ref (-1) in
+          let victim_flow = ref F.zero in
+          (try
+             for i = 0 to n - 1 do
+               if candidate.(i) && is_active i j0 then begin
+                 let f =
+                   match Hashtbl.find_opt job_edges (i, j0) with
+                   | Some e -> Flow.flow_on g e
+                   | None -> F.zero
+                 in
+                 if not (F.equal_approx f widths.(j0)) then begin
+                   match victim_rule with
+                   | First_found ->
+                     victim := i;
+                     raise Exit
+                   | Least_flow ->
+                     if !victim < 0 || F.compare f !victim_flow < 0 then begin
+                       victim := i;
+                       victim_flow := f
+                     end
+                 end
+               end
+             done
+           with Exit -> ());
+          if !victim < 0 then
+            failwith "Offline.solve: unsaturated interval without removable job";
+          candidate.(!victim) <- false;
+          decr cand_count;
+          incr removals;
+          if !cand_count = 0 then
+            failwith "Offline.solve: candidate set exhausted"
+        end
+      done;
+      (match !accepted with
+      | None -> assert false
+      | Some phase ->
+        phases := phase :: !phases;
+        List.iter (fun i -> remaining.(i) <- false) phase.members;
+        remaining_count := !remaining_count - List.length phase.members;
+        for j = 0 to k - 1 do
+          used.(j) <- used.(j) + phase.procs.(j)
+        done)
+    done;
+    {
+      breakpoints;
+      schedule_phases = List.rev !phases;
+      stats = { phases = !phase_count; rounds = !rounds; removals = !removals };
+    }
+
+  (* --- field-generic schedule materialization ---------------------------
+     The same Lemma 2 wrap-packing as Ss_model.Schedule.wrap_pack, but in
+     the functor's own arithmetic: on the exact-rational instance this
+     yields a schedule whose feasibility can be verified with zero
+     tolerance, certifying the packing construction itself (the float
+     model layer is validated against it in tests). *)
+
+  type segment = { seg_job : int; seg_proc : int; seg_t0 : F.t; seg_t1 : F.t; seg_speed : F.t }
+
+  (* Pack (job, duration) entries sequentially into windows [t0, t1) of
+     width w starting at processor [proc_offset]; full-width entries
+     first (Lemma 2). *)
+  let wrap_pack ~t0 ~t1 ~proc_offset ~speed entries =
+    let width = F.sub t1 t0 in
+    let full, partial =
+      List.partition (fun (_, dur) -> F.compare dur width >= 0) entries
+    in
+    let segs = ref [] in
+    let proc = ref proc_offset in
+    let pos = ref F.zero in
+    let emit job a b =
+      if F.compare b a > 0 then
+        segs :=
+          { seg_job = job; seg_proc = !proc; seg_t0 = F.add t0 a; seg_t1 = F.add t0 b; seg_speed = speed }
+          :: !segs
+    in
+    let advance () =
+      if F.compare !pos width >= 0 then begin
+        incr proc;
+        pos := F.zero
+      end
+    in
+    List.iter
+      (fun (job, dur) ->
+        let dur = F.min dur width in
+        if F.sign dur > 0 then begin
+          if F.compare (F.add !pos dur) width <= 0 then begin
+            emit job !pos (F.add !pos dur);
+            pos := F.add !pos dur;
+            advance ()
+          end
+          else begin
+            let first = F.sub width !pos in
+            emit job !pos width;
+            incr proc;
+            pos := F.zero;
+            emit job F.zero (F.sub dur first);
+            pos := F.sub dur first;
+            advance ()
+          end
+        end)
+      (full @ partial);
+    List.rev !segs
+
+  let schedule_segments (run : run) =
+    let k = Array.length run.breakpoints - 1 in
+    let segments = ref [] in
+    for j = 0 to k - 1 do
+      let t0 = run.breakpoints.(j) and t1 = run.breakpoints.(j + 1) in
+      let offset = ref 0 in
+      List.iter
+        (fun phase ->
+          if phase.procs.(j) > 0 then begin
+            let entries =
+              List.filter_map
+                (fun (i, j', t) -> if j' = j then Some (i, t) else None)
+                phase.alloc
+            in
+            segments :=
+              wrap_pack ~t0 ~t1 ~proc_offset:!offset ~speed:phase.speed entries
+              :: !segments;
+            offset := !offset + phase.procs.(j)
+          end)
+        run.schedule_phases
+    done;
+    List.concat !segments
+
+  (* Zero-tolerance feasibility audit of materialized segments (exact when
+     F is the rational field).  Returns the violations found. *)
+  type violation =
+    | Wrong_work of int
+    | Outside_window of int
+    | Processor_overlap of int
+    | Self_parallel of int
+
+  let check_segments ~machines (jobs : job array) segments =
+    let n = Array.length jobs in
+    let problems = ref [] in
+    (* Work totals. *)
+    let done_ = Array.make n F.zero in
+    List.iter
+      (fun s ->
+        done_.(s.seg_job) <-
+          F.add done_.(s.seg_job) (F.mul (F.sub s.seg_t1 s.seg_t0) s.seg_speed))
+      segments;
+    for i = 0 to n - 1 do
+      if not (F.equal_approx done_.(i) jobs.(i).work) then
+        problems := Wrong_work i :: !problems
+    done;
+    (* Windows. *)
+    List.iter
+      (fun s ->
+        if
+          F.compare s.seg_t0 jobs.(s.seg_job).release < 0
+          || F.compare jobs.(s.seg_job).deadline s.seg_t1 < 0
+        then problems := Outside_window s.seg_job :: !problems)
+      segments;
+    (* Ordering checks per processor and per job. *)
+    let sorted_by f l = List.sort f l in
+    for proc = 0 to machines - 1 do
+      let own =
+        sorted_by
+          (fun a b -> F.compare a.seg_t0 b.seg_t0)
+          (List.filter (fun s -> s.seg_proc = proc) segments)
+      in
+      let rec sweep = function
+        | a :: (b :: _ as rest) ->
+          if F.compare b.seg_t0 a.seg_t1 < 0 then
+            problems := Processor_overlap proc :: !problems;
+          sweep rest
+        | _ -> ()
+      in
+      sweep own
+    done;
+    for i = 0 to n - 1 do
+      let own =
+        sorted_by
+          (fun a b -> F.compare a.seg_t0 b.seg_t0)
+          (List.filter (fun s -> s.seg_job = i) segments)
+      in
+      let rec sweep = function
+        | a :: (b :: _ as rest) ->
+          if F.compare b.seg_t0 a.seg_t1 < 0 then problems := Self_parallel i :: !problems;
+          sweep rest
+        | _ -> ()
+      in
+      sweep own
+    done;
+    List.rev !problems
+
+  (* Total reserved processing time of a phase. *)
+  let phase_busy_time run phase =
+    let k = Array.length run.breakpoints - 1 in
+    let acc = ref F.zero in
+    for j = 0 to k - 1 do
+      if phase.procs.(j) > 0 then
+        acc :=
+          F.add !acc
+            (F.mul (F.of_int phase.procs.(j))
+               (F.sub run.breakpoints.(j + 1) run.breakpoints.(j)))
+    done;
+    !acc
+
+  let speeds run = List.map (fun p -> p.speed) run.schedule_phases
+end
+
+module F = Make (Ss_numeric.Field.Float)
+module Exact = Make (Ss_numeric.Rational.Field)
+
+module Job = Ss_model.Job
+module Interval = Ss_model.Interval
+module Power = Ss_model.Power
+module Schedule = Ss_model.Schedule
+
+type info = {
+  phases : int;
+  rounds : int;
+  removals : int;
+  speeds : float array;        (* decreasing phase speeds *)
+}
+
+let float_jobs (inst : Job.instance) =
+  Array.map
+    (fun (j : Job.t) -> { F.release = j.release; deadline = j.deadline; work = j.work })
+    inst.jobs
+
+(* Materialize a run into a concrete schedule: inside each interval, stack
+   the phases' wrap-packed blocks onto disjoint processors (Lemma 2). *)
+let schedule_of_run ~machines (run : F.run) =
+  let k = Array.length run.breakpoints - 1 in
+  let segments = ref [] in
+  for j = 0 to k - 1 do
+    let t0 = run.breakpoints.(j) and t1 = run.breakpoints.(j + 1) in
+    let offset = ref 0 in
+    List.iter
+      (fun (phase : F.phase) ->
+        if phase.procs.(j) > 0 then begin
+          let entries =
+            List.filter_map
+              (fun (i, j', t) -> if j' = j then Some (i, t) else None)
+              phase.alloc
+          in
+          if entries <> [] then begin
+            let segs, used_procs =
+              Schedule.wrap_pack ~t0 ~t1 ~proc_offset:!offset ~speed:phase.speed entries
+            in
+            if used_procs > phase.procs.(j) then
+              failwith "Offline.schedule_of_run: packing exceeded reservation";
+            segments := segs :: !segments
+          end;
+          offset := !offset + phase.procs.(j)
+        end)
+      run.schedule_phases
+  done;
+  Schedule.make ~machines (List.concat !segments)
+
+let solve (inst : Job.instance) =
+  (match Job.validate inst with
+  | [] -> ()
+  | _ -> invalid_arg "Offline.solve: invalid instance");
+  let run = F.solve ~machines:inst.machines (float_jobs inst) in
+  let schedule = schedule_of_run ~machines:inst.machines run in
+  let info =
+    {
+      phases = run.stats.phases;
+      rounds = run.stats.rounds;
+      removals = run.stats.removals;
+      speeds = Array.of_list (List.map (fun (p : F.phase) -> p.speed) run.schedule_phases);
+    }
+  in
+  (schedule, info)
+
+let optimal_schedule inst = fst (solve inst)
+
+let optimal_energy power inst = Schedule.energy power (optimal_schedule inst)
+
+(* Energy computed directly from the phase structure (each phase runs
+   P(speed) for its total reserved time); equals the schedule energy and is
+   cheaper when no schedule is needed. *)
+let energy_of_run power (run : F.run) =
+  Ss_numeric.Kahan.sum_list
+    (List.map
+       (fun (p : F.phase) ->
+         Power.eval power p.speed *. F.phase_busy_time run p)
+       run.schedule_phases)
+
+let run (inst : Job.instance) = F.solve ~machines:inst.machines (float_jobs inst)
+
+(* Exact-rational replay: jobs are embedded exactly (floats are dyadic
+   rationals) and the whole algorithm runs in exact arithmetic. *)
+let exact_jobs (inst : Job.instance) =
+  let r = Ss_numeric.Rational.of_float in
+  Array.map
+    (fun (j : Job.t) ->
+      { Exact.release = r j.release; deadline = r j.deadline; work = r j.work })
+    inst.jobs
+
+let solve_exact (inst : Job.instance) =
+  Exact.solve ~machines:inst.machines (exact_jobs inst)

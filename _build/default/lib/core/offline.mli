@@ -1,0 +1,102 @@
+(** The paper's combinatorial offline algorithm (Section 2, Fig. 2).
+
+    Computes an energy-optimal multi-processor schedule with migration for
+    any convex non-decreasing power function, in polynomial time, using
+    repeated maximum-flow computations — no linear programming.
+
+    The core is a functor over an ordered field; {!solve} runs it on floats
+    and materializes a {!Ss_model.Schedule.t}, {!solve_exact} replays it on
+    exact rationals for certification. *)
+
+module Make (F : Ss_numeric.Field.S) : sig
+  type job = { release : F.t; deadline : F.t; work : F.t }
+
+  type phase = {
+    members : int list;  (** job ids of this equal-speed class [J_i] *)
+    speed : F.t;  (** the class speed [s_i]; strictly decreasing over phases *)
+    procs : int array;  (** [m_ij] reserved processors per grid interval *)
+    alloc : (int * int * F.t) list;
+        (** [(job, interval, time)] execution times [t_kj] from the
+            accepting flow *)
+  }
+
+  type stats = {
+    phases : int;
+    rounds : int;  (** max-flow computations performed *)
+    removals : int;  (** Lemma 4 job removals *)
+  }
+
+  type run = {
+    breakpoints : F.t array;
+    schedule_phases : phase list;
+    stats : stats;
+  }
+
+  type flow_algorithm = Dinic | Edmonds_karp | Push_relabel
+  (** Which max-flow routine answers the per-round feasibility question
+      (identical answers; ablation experiment A4 compares speed). *)
+
+  type victim_rule = Least_flow | First_found
+  (** Which provably-removable job a failed round discards; Lemma 4 makes
+      any unsaturated choice sound (ablation experiment A5). *)
+
+  exception Stranded_job of int
+
+  val solve :
+    ?flow_algorithm:flow_algorithm ->
+    ?victim_rule:victim_rule ->
+    machines:int ->
+    job array ->
+    run
+  (** @raise Invalid_argument on malformed jobs.
+      @raise Stranded_job only on internal failure (valid instances are
+      always schedulable). *)
+
+  val phase_busy_time : run -> phase -> F.t
+  val speeds : run -> F.t list
+
+  type segment = { seg_job : int; seg_proc : int; seg_t0 : F.t; seg_t1 : F.t; seg_speed : F.t }
+
+  val schedule_segments : run -> segment list
+  (** Field-generic Lemma 2 wrap-packing: on the rational instance the
+      materialized schedule is exact. *)
+
+  type violation =
+    | Wrong_work of int
+    | Outside_window of int
+    | Processor_overlap of int
+    | Self_parallel of int
+
+  val check_segments : machines:int -> job array -> segment list -> violation list
+  (** Zero-tolerance feasibility audit of materialized segments (exact
+      when [F] is the rational field); empty = feasible. *)
+end
+
+module F : module type of Make (Ss_numeric.Field.Float)
+module Exact : module type of Make (Ss_numeric.Rational.Field)
+
+type info = {
+  phases : int;
+  rounds : int;
+  removals : int;
+  speeds : float array;
+}
+
+val solve : Ss_model.Job.instance -> Ss_model.Schedule.t * info
+(** Full pipeline: run the algorithm and materialize the schedule via the
+    Lemma 2 wrap-packing.  The result is feasible and optimal for every
+    convex non-decreasing power function. *)
+
+val optimal_schedule : Ss_model.Job.instance -> Ss_model.Schedule.t
+val optimal_energy : Ss_model.Power.t -> Ss_model.Job.instance -> float
+
+val run : Ss_model.Job.instance -> F.run
+(** The raw phase structure (no schedule materialization). *)
+
+val energy_of_run : Ss_model.Power.t -> F.run -> float
+(** Energy from the phase structure alone; equals the schedule energy. *)
+
+val schedule_of_run : machines:int -> F.run -> Ss_model.Schedule.t
+
+val solve_exact : Ss_model.Job.instance -> Exact.run
+(** Exact-rational replay of the entire algorithm (floats embed exactly). *)

@@ -1,0 +1,117 @@
+(* The "LP route" baseline for experiment E2.
+
+   Bingham & Greenstreet (2008) solved the offline problem with linear
+   programming; the paper's motivation for the combinatorial algorithm is
+   that the LP's complexity "is too high for most practical applications".
+   We reproduce that comparison point with a faithful stand-in: the exact
+   convex program
+
+       min  sum_{k,j} t_kj P(w_kj / t_kj)
+       s.t. sum_j w_kj = w_k,   t_kj <= |I_j|,   sum_k t_kj <= m |I_j|
+
+   linearized by tangent planes of the (jointly convex) perspective
+   function t P(w/t):
+
+       e >= P'(σ) w + (P(σ) - σ P'(σ)) t          for sampled speeds σ.
+
+   The LP minimum lower-bounds the true optimum and converges to it as the
+   tangent family grows; its size (3 variables and ~tangents rows per
+   job-interval pair) exhibits exactly the blow-up the paper criticizes. *)
+
+module Job = Ss_model.Job
+module Interval = Ss_model.Interval
+module Power = Ss_model.Power
+module Simplex = Ss_lp.Simplex
+
+type report = {
+  lower_bound : float;   (* LP optimum: a lower bound on OPT energy *)
+  variables : int;
+  rows : int;
+}
+
+let tangent_speeds ~count ~lo ~hi =
+  if count < 2 then invalid_arg "Pwl_baseline.tangent_speeds: count < 2";
+  let ratio = (hi /. lo) ** (1. /. float_of_int (count - 1)) in
+  Array.init count (fun i -> lo *. (ratio ** float_of_int i))
+
+let solve ?(tangents = 8) power (inst : Job.instance) =
+  (match Job.validate inst with
+  | [] -> ()
+  | _ -> invalid_arg "Pwl_baseline.solve: invalid instance");
+  let grid = Interval.make inst.jobs in
+  let k = Interval.length grid in
+  let n = Array.length inst.jobs in
+  (* Job-interval pairs. *)
+  let pairs = ref [] in
+  for j = k - 1 downto 0 do
+    List.iter (fun i -> pairs := (i, j) :: !pairs) (Interval.active grid j)
+  done;
+  let pairs = Array.of_list !pairs in
+  let np = Array.length pairs in
+  let nvars = 3 * np in
+  let w_var p = 3 * p
+  and t_var p = (3 * p) + 1
+  and e_var p = (3 * p) + 2 in
+  (* Sample speeds spanning anything the optimum can use. *)
+  let lo_time, hi_time = Job.horizon inst in
+  let horizon = hi_time -. lo_time in
+  let avg = Job.total_work inst /. (float_of_int inst.machines *. horizon) in
+  let max_density =
+    Array.fold_left (fun acc j -> Float.max acc (Job.density j)) 0. inst.jobs
+  in
+  let hi = 4. *. Float.max max_density (Job.total_work inst /. horizon) in
+  let lo = Float.max (avg /. 16.) (hi *. 1e-4) in
+  let sigmas = tangent_speeds ~count:tangents ~lo ~hi in
+  let rows = ref [] in
+  let add_row a rel b = rows := (a, rel, b) :: !rows in
+  (* Tangent rows: e - P'(σ) w - (P(σ) - σ P'(σ)) t >= 0, equilibrated so
+     the largest coefficient is 1 (tangent slopes span several orders of
+     magnitude; unscaled rows destabilize the dense simplex). *)
+  Array.iteri
+    (fun p _ ->
+      Array.iter
+        (fun sigma ->
+          let dp = Power.deriv power sigma in
+          let c = Power.eval power sigma -. (sigma *. dp) in
+          let scale = Float.max 1. (Float.max (Float.abs dp) (Float.abs c)) in
+          let a = Array.make nvars 0. in
+          a.(e_var p) <- 1. /. scale;
+          a.(w_var p) <- -.dp /. scale;
+          a.(t_var p) <- -.c /. scale;
+          add_row a Simplex.Ge 0.)
+        sigmas)
+    pairs;
+  (* Work conservation per job. *)
+  for i = 0 to n - 1 do
+    let a = Array.make nvars 0. in
+    Array.iteri (fun p (i', _) -> if i' = i then a.(w_var p) <- 1.) pairs;
+    add_row a Simplex.Eq inst.jobs.(i).work
+  done;
+  (* Per-pair time cap and per-interval aggregate capacity. *)
+  Array.iteri
+    (fun p (_, j) ->
+      let a = Array.make nvars 0. in
+      a.(t_var p) <- 1.;
+      add_row a Simplex.Le (Interval.width grid j))
+    pairs;
+  for j = 0 to k - 1 do
+    let a = Array.make nvars 0. in
+    let any = ref false in
+    Array.iteri
+      (fun p (_, j') ->
+        if j' = j then begin
+          a.(t_var p) <- 1.;
+          any := true
+        end)
+      pairs;
+    if !any then
+      add_row a Simplex.Le (float_of_int inst.machines *. Interval.width grid j)
+  done;
+  let objective = Array.make nvars 0. in
+  Array.iteri (fun p _ -> objective.(e_var p) <- 1.) pairs;
+  let rows = Array.of_list (List.rev !rows) in
+  match Simplex.minimize ~objective ~rows () with
+  | Simplex.Optimal { value; _ } ->
+    { lower_bound = value; variables = nvars; rows = Array.length rows }
+  | Simplex.Infeasible -> failwith "Pwl_baseline.solve: LP infeasible (bug)"
+  | Simplex.Unbounded -> failwith "Pwl_baseline.solve: LP unbounded (bug)"

@@ -1,0 +1,15 @@
+(** LP-route baseline (Bingham–Greenstreet stand-in) for experiment E2: a
+    tangent-plane linearization of the offline convex program, solved with
+    the in-repo simplex.  Its optimum lower-bounds the true minimal energy
+    and converges to it as [tangents] grows; its size reproduces the
+    LP-impracticality the paper motivates against. *)
+
+type report = {
+  lower_bound : float;
+  variables : int;
+  rows : int;
+}
+
+val solve : ?tangents:int -> Ss_model.Power.t -> Ss_model.Job.instance -> report
+(** Default 8 tangent speeds per job-interval pair.
+    @raise Invalid_argument on invalid instances. *)

@@ -1,0 +1,85 @@
+(* The classical single-processor optimum of Yao, Demers and Shenker
+   (FOCS 1995): repeatedly find the critical interval of maximum intensity,
+   fix its jobs at that speed, contract time, and recurse.
+
+   Kept as an independent oracle: at m = 1 the paper's multi-processor
+   algorithm must agree with YDS, and the AVR(m) analysis (Theorem 3)
+   relates E_AVR(m) to the single-processor optimum E^1_OPT, which this
+   module supplies.  Only energy and the speed levels are produced — the
+   corresponding concrete schedule at m = 1 is available from
+   {!Offline.solve}. *)
+
+module Job = Ss_model.Job
+module Power = Ss_model.Power
+
+type level = {
+  speed : float;
+  work : float;        (* total work executed at this speed *)
+  duration : float;    (* work / speed *)
+}
+
+type result = { levels : level list }
+
+(* One contraction step: jobs are (r, d, w) in the current (already
+   contracted) time coordinates. *)
+let critical_interval jobs =
+  let starts = List.sort_uniq Float.compare (List.map (fun (r, _, _) -> r) jobs) in
+  let ends = List.sort_uniq Float.compare (List.map (fun (_, d, _) -> d) jobs) in
+  let best = ref None in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if b > a then begin
+            let work =
+              Ss_numeric.Kahan.sum_list
+                (List.filter_map
+                   (fun (r, d, w) -> if a <= r && d <= b then Some w else None)
+                   jobs)
+            in
+            if work > 0. then begin
+              let intensity = work /. (b -. a) in
+              match !best with
+              | Some (g, _, _, _) when g >= intensity -> ()
+              | _ -> best := Some (intensity, a, b, work)
+            end
+          end)
+        ends)
+    starts;
+  match !best with
+  | Some (g, a, b, work) -> (g, a, b, work)
+  | None -> invalid_arg "Yds.critical_interval: no schedulable job"
+
+let contract a b jobs =
+  let len = b -. a in
+  let shrink t = if t >= b then t -. len else if t > a then a else t in
+  List.filter_map
+    (fun (r, d, w) ->
+      if a <= r && d <= b then None (* job belongs to the critical set *)
+      else Some (shrink r, shrink d, w))
+    jobs
+
+let solve (inst : Job.instance) =
+  (match Job.validate inst with
+  | [] -> ()
+  | _ -> invalid_arg "Yds.solve: invalid instance");
+  let jobs =
+    Array.to_list inst.jobs |> List.map (fun (j : Job.t) -> (j.release, j.deadline, j.work))
+  in
+  let rec loop acc jobs =
+    match jobs with
+    | [] -> List.rev acc
+    | _ ->
+      let g, a, b, work = critical_interval jobs in
+      let level = { speed = g; work; duration = work /. g } in
+      loop (level :: acc) (contract a b jobs)
+  in
+  { levels = loop [] jobs }
+
+let energy power { levels } =
+  Ss_numeric.Kahan.sum_list
+    (List.map (fun l -> Power.eval power l.speed *. l.duration) levels)
+
+let speeds { levels } = List.map (fun l -> l.speed) levels
+
+let max_speed r = List.fold_left (fun acc l -> Float.max acc l.speed) 0. r.levels

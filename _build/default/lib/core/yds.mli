@@ -1,0 +1,23 @@
+(** Yao–Demers–Shenker single-processor optimum (critical intervals).
+
+    Independent oracle: the multi-processor algorithm must agree with it at
+    [machines = 1], and Theorem 3's analysis consumes the single-processor
+    optimal energy [E¹_OPT]. *)
+
+type level = {
+  speed : float;
+  work : float;
+  duration : float;
+}
+
+type result = { levels : level list }
+(** Speed levels in the order the critical-interval peeling finds them
+    (non-increasing speeds). *)
+
+val solve : Ss_model.Job.instance -> result
+(** Ignores [machines]; schedules everything on one processor.
+    @raise Invalid_argument on invalid instances. *)
+
+val energy : Ss_model.Power.t -> result -> float
+val speeds : result -> float list
+val max_speed : result -> float

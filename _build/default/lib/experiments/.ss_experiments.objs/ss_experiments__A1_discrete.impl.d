@@ -1,0 +1,1 @@
+lib/experiments/a1_discrete.ml: Common List Ss_core Ss_model Ss_numeric Ss_workload

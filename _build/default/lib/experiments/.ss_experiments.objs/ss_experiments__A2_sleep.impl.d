@@ -1,0 +1,1 @@
+lib/experiments/a2_sleep.ml: Common List Printf Ss_core Ss_model Ss_numeric Ss_workload

@@ -1,0 +1,1 @@
+lib/experiments/a3_parallel.ml: Array Common Domain List Printf Ss_core Ss_model Ss_numeric Ss_online Ss_parallel Ss_workload Unix

@@ -1,0 +1,1 @@
+lib/experiments/a4_flow_ablation.ml: Array Common Float List Option Ss_core Ss_model Ss_numeric Ss_workload

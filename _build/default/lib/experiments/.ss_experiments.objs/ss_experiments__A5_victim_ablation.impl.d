@@ -1,0 +1,1 @@
+lib/experiments/a5_victim_ablation.ml: Array Common Float List Ss_core Ss_model Ss_numeric Ss_workload

@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Array List Printf Ss_core Ss_model Ss_numeric Ss_workload Sys

@@ -1,0 +1,1 @@
+lib/experiments/e10_headtohead.ml: Array Common List Ss_core Ss_model Ss_numeric Ss_online Ss_workload

@@ -1,0 +1,1 @@
+lib/experiments/e11_potential.ml: Common List Ss_numeric Ss_online Ss_workload

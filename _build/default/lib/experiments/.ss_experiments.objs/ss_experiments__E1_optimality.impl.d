@@ -1,0 +1,1 @@
+lib/experiments/e1_optimality.ml: Common Float List Ss_convex Ss_core Ss_model Ss_numeric Ss_workload

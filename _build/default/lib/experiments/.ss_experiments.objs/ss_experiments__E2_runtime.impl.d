@@ -1,0 +1,1 @@
+lib/experiments/e2_runtime.ml: Common Float List Ss_core Ss_model Ss_numeric Ss_workload

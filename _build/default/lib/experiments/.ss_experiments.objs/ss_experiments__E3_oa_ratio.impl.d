@@ -1,0 +1,1 @@
+lib/experiments/e3_oa_ratio.ml: Array Common List Ss_model Ss_numeric Ss_online

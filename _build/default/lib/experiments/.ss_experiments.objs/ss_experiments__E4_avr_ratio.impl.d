@@ -1,0 +1,1 @@
+lib/experiments/e4_avr_ratio.ml: Common E3_oa_ratio Ss_model Ss_online

@@ -1,0 +1,1 @@
+lib/experiments/e5_chain.ml: Common List Ss_core Ss_model Ss_numeric Ss_online Ss_workload

@@ -1,0 +1,1 @@
+lib/experiments/e6_staircase.ml: Common List Ss_core Ss_model Ss_numeric Ss_online Ss_workload

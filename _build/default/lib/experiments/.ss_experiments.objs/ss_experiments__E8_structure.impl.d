@@ -1,0 +1,1 @@
+lib/experiments/e8_structure.ml: Common List Option Ss_core Ss_numeric Ss_workload

@@ -1,0 +1,1 @@
+lib/experiments/e9_lemmas.ml: Array Common List Printf Ss_core Ss_model Ss_numeric Ss_workload

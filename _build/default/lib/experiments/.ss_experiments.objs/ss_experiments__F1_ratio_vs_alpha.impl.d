@@ -1,0 +1,1 @@
+lib/experiments/f1_ratio_vs_alpha.ml: Common Float List Ss_model Ss_numeric Ss_online

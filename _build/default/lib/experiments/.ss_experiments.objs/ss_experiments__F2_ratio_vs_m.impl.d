@@ -1,0 +1,1 @@
+lib/experiments/f2_ratio_vs_m.ml: Common Float List Ss_model Ss_numeric Ss_online

@@ -1,0 +1,1 @@
+lib/experiments/f3_load.ml: Common List Ss_core Ss_model Ss_numeric Ss_online Ss_workload

@@ -1,0 +1,1 @@
+lib/experiments/f4_scaling.ml: Array Common List Printf Ss_core Ss_numeric Ss_workload

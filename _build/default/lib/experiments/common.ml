@@ -1,0 +1,70 @@
+(* Shared plumbing for the experiment harness.
+
+   Every experiment regenerates one table or data series validating a claim
+   of the paper (see DESIGN.md section 6 for the index).  Experiments are
+   pure: deterministic seeds in, Table.t values out, so EXPERIMENTS.md can
+   be reproduced verbatim. *)
+
+module Table = Ss_numeric.Table
+module Job = Ss_model.Job
+module Power = Ss_model.Power
+module Schedule = Ss_model.Schedule
+
+type outcome = {
+  tables : Table.t list;
+  notes : string list;  (* one-line observations recorded under the table *)
+}
+
+type t = {
+  id : string;
+  title : string;
+  validates : string;   (* which theorem/lemma/claim of the paper *)
+  run : unit -> outcome;
+}
+
+let outcome ?(notes = []) tables = { tables; notes }
+
+(* CPU-time measurement for the runtime experiments (E2, F4).  CPU time is
+   the right metric when comparing algorithmic routes on one core. *)
+let time_it f =
+  let t0 = Sys.time () in
+  let result = f () in
+  let t1 = Sys.time () in
+  (result, (t1 -. t0) *. 1000.)
+
+(* Median-of-k timing to stabilize small measurements. *)
+let time_median ?(repeats = 3) f =
+  let samples =
+    Array.init repeats (fun _ ->
+        let _, ms = time_it f in
+        ms)
+  in
+  Ss_numeric.Stats.median samples
+
+let ratio_vs_opt power inst energy_algo =
+  let opt = Ss_core.Offline.optimal_energy power inst in
+  energy_algo /. opt
+
+(* Standard instance mix used by the competitive-ratio sweeps: random
+   families plus the adversarial staircase, so both average and bad-case
+   behaviour show up. *)
+let ratio_mix ~machines ~seeds =
+  List.concat_map
+    (fun seed ->
+      [
+        Ss_workload.Generators.uniform ~seed ~machines ~jobs:10 ~horizon:16. ~max_work:5. ();
+        Ss_workload.Generators.poisson ~seed:(seed + 1000) ~machines ~jobs:10 ~rate:1.2
+          ~mean_work:2.5 ~slack:2. ();
+        Ss_workload.Generators.bursty ~seed:(seed + 2000) ~machines ~bursts:3
+          ~jobs_per_burst:(max 2 (machines / 2 + 1)) ~gap:6. ~max_work:4. ();
+      ])
+    seeds
+  @ [ Ss_workload.Generators.staircase ~machines ~levels:5 ~copies:machines () ]
+
+let run_and_print exp =
+  Printf.printf "== %s — %s ==\n" exp.id exp.title;
+  Printf.printf "validates: %s\n\n" exp.validates;
+  let { tables; notes } = exp.run () in
+  List.iter (fun t -> Table.print t; print_newline ()) tables;
+  List.iter (fun n -> Printf.printf "note: %s\n" n) notes;
+  print_newline ()

@@ -1,0 +1,69 @@
+(* E5 — the Theorem 3 proof chain, numerically.
+
+   The proof of Theorem 3 combines three inequalities:
+     (i)   E_AVR(m) <= m^(1-a) * sum_t Delta_t^a + sum_i d_i^a (d_i - r_i)
+     (ii)  sum_t Delta_t^a = E_AVR(1) <= ((2a)^a / 2) * E1_OPT   [Yao et al.]
+     (iii) m^(1-a) * E1_OPT <= E_OPT                             [ineq. (10)]
+   together with sum_i density^a * span <= E_OPT.  We evaluate every link
+   on concrete workloads. *)
+
+module Table = Ss_numeric.Table
+module Power = Ss_model.Power
+module Job = Ss_model.Job
+
+let run () =
+  let alpha = 2.5 in
+  let power = Power.alpha alpha in
+  let scenarios =
+    [
+      ("uniform", Ss_workload.Generators.uniform ~seed:5 ~machines:4 ~jobs:12 ~horizon:16. ~max_work:5. ());
+      ("poisson", Ss_workload.Generators.poisson ~seed:6 ~machines:3 ~jobs:12 ~rate:1.2 ~mean_work:2.5 ~slack:2. ());
+      ("staircase", Ss_workload.Generators.staircase ~machines:4 ~levels:5 ~copies:4 ());
+      ("video", Ss_workload.Generators.video ~seed:7 ~machines:2 ~frames:14 ~period:2. ~base_work:3. ());
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, inst) ->
+        let m = float_of_int inst.Job.machines in
+        let e_avr = Ss_online.Avr.energy power inst in
+        let e_avr1 = Ss_online.Avr.single_processor_energy power inst in
+        let density_term = Ss_core.Lower_bounds.density_bound power inst in
+        let e_opt = Ss_core.Offline.optimal_energy power inst in
+        let e1_opt = Ss_core.Yds.energy power (Ss_core.Yds.solve inst) in
+        let ineq_i = e_avr <= ((m ** (1. -. alpha)) *. e_avr1) +. density_term +. 1e-6 in
+        let ineq_ii =
+          e_avr1 <= (Ss_online.Avr.single_processor_bound ~alpha *. e1_opt) +. 1e-6
+        in
+        let ineq_iii = (m ** (1. -. alpha)) *. e1_opt <= e_opt +. 1e-6 in
+        let density_le_opt = density_term <= e_opt +. 1e-6 in
+        [
+          name;
+          Table.cell_int inst.Job.machines;
+          Table.cell_f ~digits:5 e_avr;
+          Table.cell_f ~digits:5 e_opt;
+          Table.cell_bool ineq_i;
+          Table.cell_bool ineq_ii;
+          Table.cell_bool ineq_iii;
+          Table.cell_bool density_le_opt;
+        ])
+      scenarios
+  in
+  let table =
+    Table.make
+      ~title:
+        "E5: Theorem 3 inequality chain, link by link (alpha=2.5)\n\
+         (i) E_AVR(m) <= m^(1-a) E_AVR(1) + density term   (ii) E_AVR(1) <= (2a)^a/2 E1_OPT\n\
+         (iii) m^(1-a) E1_OPT <= E_OPT                     (iv) density term <= E_OPT"
+      ~headers:[ "workload"; "m"; "E_AVR(m)"; "E_OPT"; "(i)"; "(ii)"; "(iii)"; "(iv)" ]
+      rows
+  in
+  Common.outcome [ table ]
+
+let exp : Common.t =
+  {
+    id = "e5";
+    title = "Theorem 3 proof-chain verification";
+    validates = "Theorem 3 proof (inequalities (9), (10) and the density bound)";
+    run;
+  }

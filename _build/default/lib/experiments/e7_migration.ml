@@ -1,0 +1,70 @@
+(* E7 — the benefit of migration.
+
+   The paper's setting allows migration, which is what makes the offline
+   problem polynomial (vs NP-hard without it, refs [1, 8]).  This
+   experiment quantifies how much energy migration saves against
+   assignment heuristics (round-robin, least-work greedy, and the
+   random-assignment scheme of Greiner-Nonner-Souza). *)
+
+module Table = Ss_numeric.Table
+module Power = Ss_model.Power
+module Job = Ss_model.Job
+module Nm = Ss_online.Nonmigratory
+
+let run () =
+  let power = Power.alpha 3. in
+  let scenarios =
+    [
+      ("uniform m=4", Ss_workload.Generators.uniform ~seed:21 ~machines:4 ~jobs:16 ~horizon:18. ~max_work:5. ());
+      ("uniform m=8", Ss_workload.Generators.uniform ~seed:22 ~machines:8 ~jobs:24 ~horizon:18. ~max_work:5. ());
+      ("bursty m=4", Ss_workload.Generators.bursty ~seed:23 ~machines:4 ~bursts:4 ~jobs_per_burst:5 ~gap:6. ~max_work:4. ());
+      ("heavy m=4", Ss_workload.Generators.heavy_tailed ~seed:24 ~machines:4 ~jobs:16 ~horizon:16. ~shape:1.4 ());
+      ("staircase m=4", Ss_workload.Generators.staircase ~machines:4 ~levels:5 ~copies:4 ());
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, inst) ->
+        let opt_sched = Ss_core.Offline.optimal_schedule inst in
+        let e_opt = Ss_model.Schedule.energy power opt_sched in
+        let migrations =
+          Ss_model.Schedule.total_migrations ~jobs:(Array.length inst.Job.jobs) opt_sched
+        in
+        let r strat = Nm.energy strat power inst /. e_opt in
+        let r_rand =
+          Nm.best_random ~tries:5 power inst /. e_opt
+        in
+        [
+          name;
+          Table.cell_int (Array.length inst.Job.jobs);
+          Table.cell_int migrations;
+          Table.cell_fixed (r Nm.Round_robin);
+          Table.cell_fixed (r Nm.Least_work);
+          Table.cell_fixed r_rand;
+        ])
+      scenarios
+  in
+  let table =
+    Table.make
+      ~title:
+        "E7: energy of non-migratory heuristics relative to the migratory optimum (alpha=3)\n\
+         expected: every ratio >= 1; gap widens when load is unbalanced (bursty/heavy)"
+      ~headers:
+        [ "workload"; "n"; "OPT migr"; "round-robin"; "least-work"; "best random(5)" ]
+      rows
+  in
+  Common.outcome
+    ~notes:
+      [
+        "'OPT migr' counts processor changes in the optimal schedule: the \
+         optimum actively uses migration, which the heuristics cannot.";
+      ]
+    [ table ]
+
+let exp : Common.t =
+  {
+    id = "e7";
+    title = "migration benefit vs assignment heuristics";
+    validates = "Introduction / refs [1,8] (migration makes the problem tractable and saves energy)";
+    run;
+  }

@@ -1,0 +1,49 @@
+(* F2 — series: competitive ratio as a function of the machine count.
+
+   Theorem 2's bound alpha^alpha is independent of m, and Theorem 3's only
+   adds "+1" over the single-processor bound: the measured curves should be
+   essentially flat in m. *)
+
+module Table = Ss_numeric.Table
+module Power = Ss_model.Power
+
+let run () =
+  let alpha = 3. in
+  let power = Power.alpha alpha in
+  let rows =
+    List.map
+      (fun machines ->
+        let instances = Common.ratio_mix ~machines ~seeds:[ 4 ] in
+        let worst f =
+          List.fold_left
+            (fun acc inst -> Float.max acc (Common.ratio_vs_opt power inst (f inst)))
+            0. instances
+        in
+        let r_oa = worst (Ss_online.Oa.energy power) in
+        let r_avr = worst (Ss_online.Avr.energy power) in
+        [
+          Table.cell_int machines;
+          Table.cell_fixed r_oa;
+          Table.cell_fixed r_avr;
+          Table.cell_fixed (Ss_online.Oa.competitive_bound ~alpha);
+          Table.cell_fixed (Ss_online.Avr.competitive_bound ~alpha);
+        ])
+      [ 1; 2; 3; 4; 6; 8; 12 ]
+  in
+  let table =
+    Table.make
+      ~title:
+        "F2: worst observed ratio vs machine count at alpha=3 (series)\n\
+         expected: no systematic growth in m — the guarantees are m-independent"
+      ~headers:[ "m"; "OA meas"; "AVR meas"; "OA bound"; "AVR bound" ]
+      rows
+  in
+  Common.outcome [ table ]
+
+let exp : Common.t =
+  {
+    id = "f2";
+    title = "ratio vs machine count series";
+    validates = "Theorems 2 and 3 (m-independence of the bounds)";
+    run;
+  }

@@ -1,0 +1,49 @@
+(* F3 — series: energy vs load factor.
+
+   For P = s^alpha, scaling all works by c scales every energy by c^alpha,
+   so OPT grows polynomially along the sweep while the online *ratios* stay
+   flat — competitive guarantees are scale-free.  The table shows both. *)
+
+module Table = Ss_numeric.Table
+module Power = Ss_model.Power
+
+let run () =
+  let alpha = 3. in
+  let power = Power.alpha alpha in
+  let base =
+    Ss_workload.Generators.uniform ~seed:8 ~machines:4 ~jobs:14 ~horizon:16. ~max_work:4. ()
+  in
+  let rows =
+    List.map
+      (fun load ->
+        let inst = Ss_workload.Generators.with_load_factor load base in
+        let e_opt = Ss_core.Offline.optimal_energy power inst in
+        let e_oa = Ss_online.Oa.energy power inst in
+        let e_avr = Ss_online.Avr.energy power inst in
+        [
+          Table.cell_f load;
+          Table.cell_f ~digits:5 e_opt;
+          Table.cell_f ~digits:5 e_oa;
+          Table.cell_f ~digits:5 e_avr;
+          Table.cell_fixed (e_oa /. e_opt);
+          Table.cell_fixed (e_avr /. e_opt);
+        ])
+      [ 0.25; 0.5; 1.; 2.; 4. ]
+  in
+  let table =
+    Table.make
+      ~title:
+        "F3: energy vs load factor (m=4, alpha=3; same instance, works rescaled)\n\
+         expected: energies scale as load^3, ratios flat (scale-free guarantees)"
+      ~headers:[ "load"; "E_OPT"; "E_OA"; "E_AVR"; "OA ratio"; "AVR ratio" ]
+      rows
+  in
+  Common.outcome [ table ]
+
+let exp : Common.t =
+  {
+    id = "f3";
+    title = "energy vs load factor series";
+    validates = "model scaling behaviour (P = s^alpha homogeneity)";
+    run;
+  }

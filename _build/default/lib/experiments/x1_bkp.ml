@@ -1,0 +1,67 @@
+(* X1 — extension: single-processor online algorithms, including BKP.
+
+   The paper's conclusion asks whether the Bansal-Kimbrel-Pruhs algorithm
+   (better than OA for large alpha, in the worst case) extends to multiple
+   processors.  As groundwork we compare all single-processor strategies
+   on common workloads.  This is beyond the paper's experiments; marked as
+   extension material. *)
+
+module Table = Ss_numeric.Table
+module Power = Ss_model.Power
+
+let run () =
+  let machines = 1 in
+  let instances =
+    [
+      ("uniform", Ss_workload.Generators.uniform ~seed:41 ~machines ~jobs:8 ~horizon:14. ~max_work:4. ());
+      ("poisson", Ss_workload.Generators.poisson ~seed:42 ~machines ~jobs:8 ~rate:1. ~mean_work:2. ~slack:2.5 ());
+      ("staircase", Ss_workload.Generators.staircase ~machines ~levels:5 ~copies:1 ());
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun alpha ->
+        let power = Power.alpha alpha in
+        List.map
+          (fun (name, inst) ->
+            let e_opt = Ss_core.Offline.optimal_energy power inst in
+            let r_oa = Ss_online.Oa.energy power inst /. e_opt in
+            let r_avr = Ss_online.Avr.energy power inst /. e_opt in
+            let bkp = Ss_online.Bkp.run ~steps_per_event:48 inst in
+            let r_bkp = Ss_model.Schedule.energy power bkp.schedule /. e_opt in
+            [
+              Table.cell_f alpha;
+              name;
+              Table.cell_fixed r_oa;
+              Table.cell_fixed r_avr;
+              Table.cell_fixed r_bkp;
+              Table.cell_f ~digits:2 bkp.max_residue;
+            ])
+          instances)
+      [ 2.; 3. ]
+  in
+  let table =
+    Table.make
+      ~title:
+        "X1 (extension): single-processor online strategies, m=1\n\
+         BKP's guarantee beats OA's only for large alpha; on benign inputs it overspends\n\
+         (it provisions speed e*v(t) regardless of realized load)"
+      ~headers:[ "alpha"; "workload"; "OA ratio"; "AVR ratio"; "BKP ratio"; "BKP residue" ]
+      rows
+  in
+  Common.outcome
+    ~notes:
+      [
+        "Extension beyond the paper (its conclusion poses multi-processor BKP \
+         as an open problem).  BKP is simulated with discretized time; \
+         'residue' is the unfinished work fraction caused by discretization.";
+      ]
+    [ table ]
+
+let exp : Common.t =
+  {
+    id = "x1";
+    title = "single-processor strategies incl. BKP (extension)";
+    validates = "Conclusion (open problem groundwork)";
+    run;
+  }

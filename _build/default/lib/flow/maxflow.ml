@@ -1,0 +1,458 @@
+(* Maximum-flow substrate, functorized over an ordered field.
+
+   The offline scheduler (Section 2 of the paper) performs one max-flow
+   computation per round on the bipartite network G(J, m, s) of Fig. 1.
+   Dinic's algorithm is the workhorse; Edmonds–Karp is kept as an
+   independent implementation for cross-checking, and min-cut extraction
+   plus conservation audits support the test suite.
+
+   Representation: forward/backward edge pairs at indices (2k, 2k+1) in flat
+   arrays, adjacency as per-vertex lists of edge indices.  Residual capacity
+   of edge e is cap.(e) - flow.(e); pushing x along e adds x to flow.(e) and
+   subtracts x from flow.(e lxor 1). *)
+
+module Make (F : Ss_numeric.Field.S) = struct
+  type t = {
+    n : int;
+    mutable m : int;                (* number of arcs incl. reverses *)
+    mutable cap : F.t array;
+    mutable flow : F.t array;
+    mutable dst : int array;
+    adj : int list array;           (* edge indices leaving each vertex *)
+    mutable adj_arr : int array array option;  (* frozen adjacency *)
+  }
+
+  let create ~n =
+    {
+      n;
+      m = 0;
+      cap = Array.make 16 F.zero;
+      flow = Array.make 16 F.zero;
+      dst = Array.make 16 0;
+      adj = Array.make n [];
+      adj_arr = None;
+    }
+
+  let ensure_capacity g needed =
+    let len = Array.length g.cap in
+    if needed > len then begin
+      let len' = max needed (2 * len) in
+      let grow a fill =
+        let b = Array.make len' fill in
+        Array.blit a 0 b 0 len;
+        b
+      in
+      g.cap <- grow g.cap F.zero;
+      g.flow <- grow g.flow F.zero;
+      g.dst <- grow g.dst 0
+    end
+
+  (* Returns the forward-edge id; the reverse edge (zero capacity) lives at
+     [id + 1]. *)
+  let add_edge g ~src ~dst ~cap =
+    if src < 0 || src >= g.n || dst < 0 || dst >= g.n then invalid_arg "Maxflow.add_edge: vertex out of range";
+    if F.sign cap < 0 then invalid_arg "Maxflow.add_edge: negative capacity";
+    g.adj_arr <- None;
+    let id = g.m in
+    ensure_capacity g (id + 2);
+    g.cap.(id) <- cap;
+    g.flow.(id) <- F.zero;
+    g.dst.(id) <- dst;
+    g.cap.(id + 1) <- F.zero;
+    g.flow.(id + 1) <- F.zero;
+    g.dst.(id + 1) <- src;
+    g.adj.(src) <- id :: g.adj.(src);
+    g.adj.(dst) <- (id + 1) :: g.adj.(dst);
+    g.m <- id + 2;
+    id
+
+  let adjacency g =
+    match g.adj_arr with
+    | Some a -> a
+    | None ->
+      let a = Array.map (fun l -> Array.of_list (List.rev l)) g.adj in
+      g.adj_arr <- Some a;
+      a
+
+  let residual g e = F.sub g.cap.(e) g.flow.(e)
+  let positive x = F.sign x > 0
+
+  let push g e x =
+    g.flow.(e) <- F.add g.flow.(e) x;
+    g.flow.(e lxor 1) <- F.sub g.flow.(e lxor 1) x
+
+  let reset_flows g =
+    for e = 0 to g.m - 1 do
+      g.flow.(e) <- F.zero
+    done
+
+  (* Dinic: BFS level graph, then DFS blocking flow with arc pointers. *)
+  let dinic g ~source ~sink =
+    if source = sink then invalid_arg "Maxflow.dinic: source = sink";
+    let adj = adjacency g in
+    let level = Array.make g.n (-1) in
+    let iter = Array.make g.n 0 in
+    let queue = Array.make g.n 0 in
+    let bfs () =
+      Array.fill level 0 g.n (-1);
+      level.(source) <- 0;
+      queue.(0) <- source;
+      let head = ref 0 and tail = ref 1 in
+      while !head < !tail do
+        let u = queue.(!head) in
+        incr head;
+        Array.iter
+          (fun e ->
+            let v = g.dst.(e) in
+            if level.(v) < 0 && positive (residual g e) then begin
+              level.(v) <- level.(u) + 1;
+              queue.(!tail) <- v;
+              incr tail
+            end)
+          adj.(u)
+      done;
+      level.(sink) >= 0
+    in
+    let rec dfs u limit =
+      if u = sink then limit
+      else begin
+        let result = ref F.zero in
+        let continue = ref true in
+        while !continue && iter.(u) < Array.length adj.(u) do
+          let e = adj.(u).(iter.(u)) in
+          let v = g.dst.(e) in
+          let r = residual g e in
+          if level.(v) = level.(u) + 1 && positive r then begin
+            let pushed = dfs v (F.min limit r) in
+            if positive pushed then begin
+              push g e pushed;
+              result := pushed;
+              continue := false
+            end
+            else iter.(u) <- iter.(u) + 1
+          end
+          else iter.(u) <- iter.(u) + 1
+        done;
+        !result
+      end
+    in
+    (* An upper bound on any augmentation: total capacity out of source. *)
+    let infinity_ =
+      Array.fold_left (fun acc e -> F.add acc g.cap.(e)) F.one (adjacency g).(source)
+    in
+    let total = ref F.zero in
+    while bfs () do
+      Array.fill iter 0 g.n 0;
+      let rec drain () =
+        let f = dfs source infinity_ in
+        if positive f then begin
+          total := F.add !total f;
+          drain ()
+        end
+      in
+      drain ()
+    done;
+    !total
+
+  (* Edmonds–Karp: BFS shortest augmenting paths.  Slower; used only to
+     cross-check Dinic in tests. *)
+  let edmonds_karp g ~source ~sink =
+    if source = sink then invalid_arg "Maxflow.edmonds_karp: source = sink";
+    let adj = adjacency g in
+    let pred = Array.make g.n (-1) in
+    let queue = Array.make g.n 0 in
+    let find_path () =
+      Array.fill pred 0 g.n (-1);
+      pred.(source) <- max_int;
+      queue.(0) <- source;
+      let head = ref 0 and tail = ref 1 in
+      let found = ref false in
+      while not !found && !head < !tail do
+        let u = queue.(!head) in
+        incr head;
+        Array.iter
+          (fun e ->
+            let v = g.dst.(e) in
+            if pred.(v) < 0 && positive (residual g e) then begin
+              pred.(v) <- e;
+              if v = sink then found := true
+              else begin
+                queue.(!tail) <- v;
+                incr tail
+              end
+            end)
+          adj.(u)
+      done;
+      !found
+    in
+    let total = ref F.zero in
+    while find_path () do
+      (* Bottleneck along the predecessor chain. *)
+      let rec bottleneck v acc =
+        if v = source then acc
+        else begin
+          let e = pred.(v) in
+          bottleneck g.dst.(e lxor 1) (F.min acc (residual g e))
+        end
+      in
+      let first = residual g pred.(sink) in
+      let b = bottleneck g.dst.(pred.(sink) lxor 1) first in
+      let rec augment v =
+        if v <> source then begin
+          let e = pred.(v) in
+          push g e b;
+          augment g.dst.(e lxor 1)
+        end
+      in
+      augment sink;
+      total := F.add !total b
+    done;
+    !total
+
+  (* FIFO push-relabel with the gap heuristic: a third independent
+     max-flow implementation (different algorithmic family from the two
+     augmenting-path algorithms), used for cross-checking and as the
+     faster choice on dense networks. *)
+  let push_relabel g ~source ~sink =
+    if source = sink then invalid_arg "Maxflow.push_relabel: source = sink";
+    let adj = adjacency g in
+    let n = g.n in
+    let height = Array.make n 0 in
+    let excess = Array.make n F.zero in
+    let count = Array.make ((2 * n) + 1) 0 in
+    (* active-vertex FIFO *)
+    let queue = Queue.create () in
+    let in_queue = Array.make n false in
+    let activate v =
+      if (not in_queue.(v)) && v <> source && v <> sink && positive excess.(v) then begin
+        in_queue.(v) <- true;
+        Queue.push v queue
+      end
+    in
+    height.(source) <- n;
+    count.(0) <- n - 1;
+    count.(n) <- 1;
+    (* Saturate all source edges. *)
+    Array.iter
+      (fun e ->
+        let r = residual g e in
+        if positive r then begin
+          push g e r;
+          excess.(g.dst.(e)) <- F.add excess.(g.dst.(e)) r;
+          excess.(source) <- F.sub excess.(source) r;
+          activate g.dst.(e)
+        end)
+      adj.(source);
+    let relabel v =
+      (* Gap heuristic: if v's old height level empties, lift everything
+         above it past n. *)
+      let old = height.(v) in
+      let mut_min = ref ((2 * n) + 1) in
+      Array.iter
+        (fun e ->
+          if positive (residual g e) then mut_min := min !mut_min (height.(g.dst.(e)) + 1))
+        adj.(v);
+      let h = if !mut_min > 2 * n then (2 * n) else !mut_min in
+      count.(old) <- count.(old) - 1;
+      height.(v) <- h;
+      count.(h) <- count.(h) + 1;
+      if count.(old) = 0 && old < n then
+        for u = 0 to n - 1 do
+          if u <> source && height.(u) > old && height.(u) <= n then begin
+            count.(height.(u)) <- count.(height.(u)) - 1;
+            height.(u) <- n + 1;
+            count.(n + 1) <- count.(n + 1) + 1
+          end
+        done
+    in
+    while not (Queue.is_empty queue) do
+      let v = Queue.pop queue in
+      in_queue.(v) <- false;
+      let continue = ref true in
+      while !continue && positive excess.(v) do
+        (* Push along admissible edges. *)
+        let pushed = ref false in
+        Array.iter
+          (fun e ->
+            if positive excess.(v) then begin
+              let r = residual g e in
+              if positive r && height.(v) = height.(g.dst.(e)) + 1 then begin
+                let amount = F.min excess.(v) r in
+                push g e amount;
+                excess.(v) <- F.sub excess.(v) amount;
+                let u = g.dst.(e) in
+                excess.(u) <- F.add excess.(u) amount;
+                activate u;
+                pushed := true
+              end
+            end)
+          adj.(v);
+        if positive excess.(v) then begin
+          if height.(v) >= 2 * n then continue := false
+          else relabel v
+        end;
+        ignore !pushed
+      done
+    done;
+    (* Flow value = excess accumulated at the sink. *)
+    excess.(sink)
+
+  (* Decompose an installed flow into source->sink paths (plus cancelled
+     cycles, which carry no source-sink value).  Each returned path is a
+     vertex list from source to sink with its flow amount; the amounts sum
+     to the flow value.  Mutates a private copy of the flow. *)
+  let decompose g ~source ~sink =
+    let adj = adjacency g in
+    let remaining = Array.copy g.flow in
+    let paths = ref [] in
+    let find_out v =
+      (* A forward edge out of v still carrying flow. *)
+      let found = ref (-1) in
+      Array.iter
+        (fun e ->
+          if !found < 0 && e land 1 = 0 && F.sign remaining.(e) > 0 then found := e)
+        adj.(v);
+      !found
+    in
+    let rec walk v acc seen =
+      if v = sink then Some (List.rev (sink :: acc))
+      else begin
+        let e = find_out v in
+        if e < 0 then None
+        else begin
+          let u = g.dst.(e) in
+          if List.mem u seen then begin
+            (* Cancel the cycle u .. v -> u and retry. *)
+            let cycle_edges = ref [ e ] in
+            let rec collect path =
+              match path with
+              | a :: (b :: _ as rest) ->
+                (* edge from b to a on the recorded walk *)
+                Array.iter
+                  (fun e' ->
+                    if e' land 1 = 0 && g.dst.(e') = a && F.sign remaining.(e') > 0
+                       && g.dst.(e' lxor 1) = b
+                    then cycle_edges := e' :: !cycle_edges)
+                  adj.(b);
+                if b <> u then collect rest
+              | _ -> ()
+            in
+            collect (v :: acc);
+            let bottleneck =
+              List.fold_left (fun m e' -> F.min m remaining.(e')) remaining.(e) !cycle_edges
+            in
+            List.iter
+              (fun e' -> remaining.(e') <- F.sub remaining.(e') bottleneck)
+              !cycle_edges;
+            walk v acc seen
+          end
+          else walk u (v :: acc) (u :: seen)
+        end
+      end
+    in
+    let continue = ref true in
+    while !continue do
+      match walk source [] [ source ] with
+      | None -> continue := false
+      | Some path ->
+        (* Bottleneck along the path's edges. *)
+        let rec edges = function
+          | a :: (b :: _ as rest) ->
+            let e = ref (-1) in
+            Array.iter
+              (fun e' ->
+                if !e < 0 && e' land 1 = 0 && g.dst.(e') = b && F.sign remaining.(e') > 0
+                   && g.dst.(e' lxor 1) = a
+                then e := e')
+              adj.(a);
+            !e :: edges rest
+          | _ -> []
+        in
+        let es = edges path in
+        if List.exists (fun e -> e < 0) es then continue := false
+        else begin
+          let bottleneck =
+            match es with
+            | [] -> F.zero
+            | e0 :: rest ->
+              List.fold_left (fun m e -> F.min m remaining.(e)) remaining.(e0) rest
+          in
+          if F.sign bottleneck <= 0 then continue := false
+          else begin
+            List.iter (fun e -> remaining.(e) <- F.sub remaining.(e) bottleneck) es;
+            paths := (bottleneck, path) :: !paths
+          end
+        end
+    done;
+    List.rev !paths
+
+  (* Vertices reachable from [source] in the residual graph; after a
+     max-flow this is the source side of a minimum cut. *)
+  let min_cut g ~source =
+    let adj = adjacency g in
+    let seen = Array.make g.n false in
+    let rec go u =
+      if not seen.(u) then begin
+        seen.(u) <- true;
+        Array.iter (fun e -> if positive (residual g e) then go g.dst.(e)) adj.(u)
+      end
+    in
+    go source;
+    seen
+
+  let cut_capacity g side =
+    let acc = ref F.zero in
+    for e = 0 to g.m - 1 do
+      if e land 1 = 0 then begin
+        let src = g.dst.(e lxor 1) and dst = g.dst.(e) in
+        if side.(src) && not side.(dst) then acc := F.add !acc g.cap.(e)
+      end
+    done;
+    !acc
+
+  let flow_on g e = g.flow.(e)
+
+  let flow_value g ~source =
+    let adj = adjacency g in
+    Array.fold_left (fun acc e -> F.add acc g.flow.(e)) F.zero adj.(source)
+
+  type violation =
+    | Capacity_exceeded of int
+    | Negative_flow of int
+    | Conservation of int
+
+  (* Audit a flow: capacity respected on every forward edge, no negative
+     forward flow, conservation at every vertex except source/sink. *)
+  let audit g ~source ~sink =
+    let problems = ref [] in
+    for e = 0 to g.m - 1 do
+      if e land 1 = 0 then begin
+        if not (F.leq_approx g.flow.(e) g.cap.(e)) then problems := Capacity_exceeded e :: !problems;
+        if not (F.leq_approx F.zero g.flow.(e)) then problems := Negative_flow e :: !problems
+      end
+    done;
+    let net = Array.make g.n F.zero in
+    for e = 0 to g.m - 1 do
+      if e land 1 = 0 then begin
+        let src = g.dst.(e lxor 1) and dst = g.dst.(e) in
+        net.(src) <- F.sub net.(src) g.flow.(e);
+        net.(dst) <- F.add net.(dst) g.flow.(e)
+      end
+    done;
+    for v = 0 to g.n - 1 do
+      if v <> source && v <> sink && not (F.equal_approx net.(v) F.zero) then
+        problems := Conservation v :: !problems
+    done;
+    List.rev !problems
+
+  let num_vertices g = g.n
+  let num_edges g = g.m / 2
+
+  let iter_edges g f =
+    for e = 0 to g.m - 1 do
+      if e land 1 = 0 then f ~id:e ~src:g.dst.(e lxor 1) ~dst:g.dst.(e) ~cap:g.cap.(e) ~flow:g.flow.(e)
+    done
+end
+
+module Float = Make (Ss_numeric.Field.Float)
+module Exact = Make (Ss_numeric.Rational.Field)

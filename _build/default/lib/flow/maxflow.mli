@@ -1,0 +1,68 @@
+(** Maximum-flow substrate (Dinic + Edmonds–Karp), functorized over an
+    ordered field so the offline scheduler can run both on floats and on
+    exact rationals.
+
+    Networks are directed; every [add_edge] creates a residual reverse edge
+    internally.  All flow queries refer to forward-edge ids returned by
+    {!Make.add_edge}. *)
+
+module Make (F : Ss_numeric.Field.S) : sig
+  type t
+
+  val create : n:int -> t
+  (** A network on vertices [0 .. n-1] with no edges. *)
+
+  val add_edge : t -> src:int -> dst:int -> cap:F.t -> int
+  (** Adds a directed edge and returns its id.
+      @raise Invalid_argument on out-of-range vertices or negative
+      capacity. *)
+
+  val dinic : t -> source:int -> sink:int -> F.t
+  (** Maximum flow via blocking flows; flows are left installed on the
+      edges. *)
+
+  val edmonds_karp : t -> source:int -> sink:int -> F.t
+  (** Independent max-flow implementation (shortest augmenting paths);
+      used for cross-checks. *)
+
+  val push_relabel : t -> source:int -> sink:int -> F.t
+  (** Third independent implementation (FIFO push-relabel with the gap
+      heuristic); a different algorithmic family from the augmenting-path
+      pair. *)
+
+  val decompose : t -> source:int -> sink:int -> (F.t * int list) list
+  (** Decompose the installed flow into source→sink paths with amounts
+      summing to the flow value (cycles are cancelled).  Does not modify
+      the installed flow. *)
+
+  val reset_flows : t -> unit
+
+  val flow_on : t -> int -> F.t
+  (** Flow currently installed on a forward edge id. *)
+
+  val residual : t -> int -> F.t
+  val flow_value : t -> source:int -> F.t
+
+  val min_cut : t -> source:int -> bool array
+  (** Source side of a minimum cut (valid after a max-flow run). *)
+
+  val cut_capacity : t -> bool array -> F.t
+  (** Capacity of the cut induced by a side assignment. *)
+
+  type violation =
+    | Capacity_exceeded of int
+    | Negative_flow of int
+    | Conservation of int
+
+  val audit : t -> source:int -> sink:int -> violation list
+  (** Empty list iff the installed flow is feasible. *)
+
+  val num_vertices : t -> int
+  val num_edges : t -> int
+
+  val iter_edges :
+    t -> (id:int -> src:int -> dst:int -> cap:F.t -> flow:F.t -> unit) -> unit
+end
+
+module Float : module type of Make (Ss_numeric.Field.Float)
+module Exact : module type of Make (Ss_numeric.Rational.Field)

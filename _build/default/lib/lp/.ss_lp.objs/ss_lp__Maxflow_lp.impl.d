@@ -1,0 +1,1 @@
+lib/lp/maxflow_lp.ml: Array List Simplex

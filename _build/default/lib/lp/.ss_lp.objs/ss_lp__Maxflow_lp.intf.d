@@ -1,0 +1,1 @@
+lib/lp/maxflow_lp.mli:

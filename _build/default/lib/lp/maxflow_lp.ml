@@ -1,0 +1,47 @@
+(* Max-flow expressed as a linear program: independent oracle used by the
+   test suite to certify the Dinic/Edmonds–Karp substrate on small
+   networks. *)
+
+type edge = { src : int; dst : int; cap : float }
+
+(* Maximize net outflow of [source] subject to conservation at every vertex
+   other than [source]/[sink] and per-edge capacities (capacities are rows
+   only implicitly: variables are box-constrained by Le rows). *)
+let solve ~n ~edges ~source ~sink =
+  let ne = Array.length edges in
+  let objective = Array.make ne 0. in
+  Array.iteri
+    (fun j e ->
+      if e.src = source then objective.(j) <- objective.(j) +. 1.;
+      if e.dst = source then objective.(j) <- objective.(j) -. 1.)
+    edges;
+  let rows = ref [] in
+  (* Capacity rows. *)
+  Array.iteri
+    (fun j e ->
+      let a = Array.make ne 0. in
+      a.(j) <- 1.;
+      rows := (a, Simplex.Le, e.cap) :: !rows)
+    edges;
+  (* Conservation rows. *)
+  for v = 0 to n - 1 do
+    if v <> source && v <> sink then begin
+      let a = Array.make ne 0. in
+      let nonzero = ref false in
+      Array.iteri
+        (fun j e ->
+          if e.dst = v then begin
+            a.(j) <- a.(j) +. 1.;
+            nonzero := true
+          end;
+          if e.src = v then begin
+            a.(j) <- a.(j) -. 1.;
+            nonzero := true
+          end)
+        edges;
+      if !nonzero then rows := (a, Simplex.Eq, 0.) :: !rows
+    end
+  done;
+  match Simplex.solve { objective; rows = Array.of_list (List.rev !rows) } with
+  | Simplex.Optimal { x; value } -> Some (value, x)
+  | Simplex.Infeasible | Simplex.Unbounded -> None

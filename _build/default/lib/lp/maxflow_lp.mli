@@ -1,0 +1,9 @@
+(** Max-flow as an LP — independent oracle for certifying the
+    {!Ss_flow.Maxflow} substrate on small networks. *)
+
+type edge = { src : int; dst : int; cap : float }
+
+val solve :
+  n:int -> edges:edge array -> source:int -> sink:int -> (float * float array) option
+(** Returns [(value, per-edge flows)], or [None] if the LP solver failed
+    (should not happen on well-formed networks). *)

@@ -1,0 +1,1 @@
+lib/model/export.ml: Array Job List Printf Schedule Ss_numeric

@@ -1,0 +1,1 @@
+lib/model/export.mli: Job Schedule Ss_numeric

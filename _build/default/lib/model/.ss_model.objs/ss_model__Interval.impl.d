@@ -1,0 +1,1 @@
+lib/model/interval.ml: Array Float Format Job List Ss_numeric String

@@ -1,0 +1,1 @@
+lib/model/interval.mli: Format Job

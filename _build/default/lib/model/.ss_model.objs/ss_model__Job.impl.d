@@ -1,0 +1,1 @@
+lib/model/job.ml: Array Float Format List Printf Ss_numeric

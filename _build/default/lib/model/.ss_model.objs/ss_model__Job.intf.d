@@ -1,0 +1,1 @@
+lib/model/job.mli: Format

@@ -1,0 +1,1 @@
+lib/model/power.ml: Float Format List Printf Ss_numeric String

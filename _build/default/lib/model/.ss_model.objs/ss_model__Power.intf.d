@@ -1,0 +1,1 @@
+lib/model/power.mli: Format

@@ -1,0 +1,1 @@
+lib/model/profile.ml: Array Buffer Float Fun List Power Printf Schedule Ss_numeric

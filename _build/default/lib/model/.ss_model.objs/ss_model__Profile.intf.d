@@ -1,0 +1,1 @@
+lib/model/profile.mli: Power Schedule

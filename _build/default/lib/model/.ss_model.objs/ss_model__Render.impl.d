@@ -1,0 +1,1 @@
+lib/model/render.ml: Array Buffer Char Float Fun Hashtbl List Printf Schedule String

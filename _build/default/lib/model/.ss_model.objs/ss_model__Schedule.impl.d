@@ -1,0 +1,1 @@
+lib/model/schedule.ml: Array Float Format Job List Power Ss_numeric

@@ -1,0 +1,1 @@
+lib/model/schedule.mli: Format Job Power

@@ -1,0 +1,82 @@
+(* JSON export/import of instances and schedules for external tooling
+   (plotting, dashboards, diffing runs).  Round-trips exactly for
+   instances; schedules export with full segment data. *)
+
+module Json = Ss_numeric.Json
+
+let json_of_job (j : Job.t) =
+  Json.Obj
+    [ ("release", Json.Num j.release); ("deadline", Json.Num j.deadline); ("work", Json.Num j.work) ]
+
+let json_of_instance (inst : Job.instance) =
+  Json.Obj
+    [
+      ("machines", Json.Num (float_of_int inst.machines));
+      ("jobs", Json.Arr (Array.to_list (Array.map json_of_job inst.jobs)));
+    ]
+
+exception Format_error of string
+
+let get_num field obj =
+  match Json.member field obj with
+  | Some (Json.Num x) -> x
+  | _ -> raise (Format_error ("missing numeric field: " ^ field))
+
+let job_of_json v =
+  Job.make ~release:(get_num "release" v) ~deadline:(get_num "deadline" v)
+    ~work:(get_num "work" v)
+
+let instance_of_json v =
+  let machines = int_of_float (get_num "machines" v) in
+  match Json.member "jobs" v with
+  | Some (Json.Arr jobs) -> Job.instance ~machines (List.map job_of_json jobs)
+  | _ -> raise (Format_error "missing jobs array")
+
+let instance_to_string inst = Json.to_string (json_of_instance inst)
+
+let instance_of_string s =
+  match Json.of_string s with
+  | v -> instance_of_json v
+  | exception Json.Parse_error (pos, msg) ->
+    raise (Format_error (Printf.sprintf "json error at %d: %s" pos msg))
+
+let json_of_segment (s : Schedule.segment) =
+  Json.Obj
+    [
+      ("job", Json.Num (float_of_int s.job));
+      ("proc", Json.Num (float_of_int s.proc));
+      ("t0", Json.Num s.t0);
+      ("t1", Json.Num s.t1);
+      ("speed", Json.Num s.speed);
+    ]
+
+let json_of_schedule (sched : Schedule.t) =
+  Json.Obj
+    [
+      ("machines", Json.Num (float_of_int (Schedule.machines sched)));
+      ( "segments",
+        Json.Arr (Array.to_list (Array.map json_of_segment (Schedule.segments sched))) );
+    ]
+
+let segment_of_json v =
+  {
+    Schedule.job = int_of_float (get_num "job" v);
+    proc = int_of_float (get_num "proc" v);
+    t0 = get_num "t0" v;
+    t1 = get_num "t1" v;
+    speed = get_num "speed" v;
+  }
+
+let schedule_of_json v =
+  let machines = int_of_float (get_num "machines" v) in
+  match Json.member "segments" v with
+  | Some (Json.Arr segs) -> Schedule.make ~machines (List.map segment_of_json segs)
+  | _ -> raise (Format_error "missing segments array")
+
+let schedule_to_string sched = Json.to_string (json_of_schedule sched)
+
+let schedule_of_string s =
+  match Json.of_string s with
+  | v -> schedule_of_json v
+  | exception Json.Parse_error (pos, msg) ->
+    raise (Format_error (Printf.sprintf "json error at %d: %s" pos msg))

@@ -1,0 +1,72 @@
+(* Time-series view of a schedule: aggregate speed and power sampled on the
+   schedule's natural breakpoints (segment starts/ends), plus CSV export so
+   runs can be plotted outside the repository. *)
+
+type point = {
+  time : float;
+  speeds : float array;      (* per processor *)
+  total_speed : float;
+  total_power : float;
+}
+
+(* All segment boundaries, sorted and de-duplicated. *)
+let breakpoints (sched : Schedule.t) =
+  Array.to_list (Schedule.segments sched)
+  |> List.concat_map (fun (s : Schedule.segment) -> [ s.t0; s.t1 ])
+  |> List.sort_uniq Float.compare
+
+(* One sample inside each constant piece (at its midpoint). *)
+let sample power sched =
+  let bps = breakpoints sched in
+  let rec pieces acc = function
+    | a :: (b :: _ as rest) ->
+      let mid = 0.5 *. (a +. b) in
+      let speeds = Schedule.speeds_at sched mid in
+      let total_speed = Ss_numeric.Kahan.sum_array speeds in
+      let total_power =
+        Ss_numeric.Kahan.sum_array (Array.map (Power.eval power) speeds)
+      in
+      pieces ({ time = mid; speeds; total_speed; total_power } :: acc) rest
+    | _ -> List.rev acc
+  in
+  pieces [] bps
+
+(* Energy reconstructed from the piecewise-constant profile; must agree
+   with Schedule.energy (used as a consistency check in tests). *)
+let energy_from_profile power sched =
+  let bps = breakpoints sched in
+  let rec go acc = function
+    | a :: (b :: _ as rest) ->
+      let mid = 0.5 *. (a +. b) in
+      let speeds = Schedule.speeds_at sched mid in
+      let p = Ss_numeric.Kahan.sum_array (Array.map (Power.eval power) speeds) in
+      go (acc +. (p *. (b -. a))) rest
+    | _ -> acc
+  in
+  go 0. bps
+
+let peak_total_power power sched =
+  List.fold_left (fun acc pt -> Float.max acc pt.total_power) 0. (sample power sched)
+
+let to_csv power sched =
+  let buf = Buffer.create 512 in
+  let m = Schedule.machines sched in
+  Buffer.add_string buf "time,total_speed,total_power";
+  for l = 0 to m - 1 do
+    Buffer.add_string buf (Printf.sprintf ",speed_p%d" l)
+  done;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun pt ->
+      Buffer.add_string buf
+        (Printf.sprintf "%.9g,%.9g,%.9g" pt.time pt.total_speed pt.total_power);
+      Array.iter (fun s -> Buffer.add_string buf (Printf.sprintf ",%.9g" s)) pt.speeds;
+      Buffer.add_char buf '\n')
+    (sample power sched);
+  Buffer.contents buf
+
+let save_csv path power sched =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_csv power sched))

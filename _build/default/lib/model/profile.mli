@@ -1,0 +1,20 @@
+(** Time-series view of a schedule (piecewise-constant samples, CSV
+    export). *)
+
+type point = {
+  time : float;
+  speeds : float array;
+  total_speed : float;
+  total_power : float;
+}
+
+val breakpoints : Schedule.t -> float list
+val sample : Power.t -> Schedule.t -> point list
+(** One sample per constant piece, at the piece midpoint. *)
+
+val energy_from_profile : Power.t -> Schedule.t -> float
+(** Equals {!Schedule.energy} (consistency oracle for tests). *)
+
+val peak_total_power : Power.t -> Schedule.t -> float
+val to_csv : Power.t -> Schedule.t -> string
+val save_csv : string -> Power.t -> Schedule.t -> unit

@@ -1,0 +1,245 @@
+(* Concrete schedules: per-processor timelines of (job, speed) segments.
+
+   Every algorithm in the repository — the offline optimum, OA(m), AVR(m),
+   the non-migratory baselines — materializes its decisions as a value of
+   this type, so one feasibility checker and one energy accountant serve
+   them all.
+
+   The [wrap_pack] builder implements the construction from the proof of
+   Lemma 2: inside one interval, concatenate the jobs' execution pieces
+   into a sequential strip and cut the strip into processor-sized windows.
+   A piece split by a window boundary runs at the end of processor mu and
+   the beginning of processor mu+1; the two halves cannot overlap in time
+   because no piece is longer than the interval. *)
+
+type segment = {
+  job : int;
+  proc : int;
+  t0 : float;
+  t1 : float;
+  speed : float;
+}
+
+type t = {
+  machines : int;
+  segments : segment array;    (* sorted by (proc, t0, job) *)
+}
+
+let compare_segment a b =
+  match compare a.proc b.proc with
+  | 0 -> (match Float.compare a.t0 b.t0 with 0 -> compare a.job b.job | c -> c)
+  | c -> c
+
+let make ~machines segments =
+  if machines <= 0 then invalid_arg "Schedule.make: machines <= 0";
+  let arr = Array.of_list segments in
+  Array.iter
+    (fun s ->
+      if s.proc < 0 || s.proc >= machines then invalid_arg "Schedule.make: processor out of range";
+      if not (s.t0 < s.t1) then invalid_arg "Schedule.make: empty or negative segment";
+      if s.speed <= 0. then invalid_arg "Schedule.make: non-positive speed";
+      if s.job < 0 then invalid_arg "Schedule.make: negative job id")
+    arr;
+  Array.sort compare_segment arr;
+  { machines; segments = arr }
+
+let empty ~machines = { machines; segments = [||] }
+
+let machines t = t.machines
+let segments t = Array.copy t.segments
+let num_segments t = Array.length t.segments
+
+let concat a b =
+  if a.machines <> b.machines then invalid_arg "Schedule.concat: machine count mismatch";
+  let arr = Array.append a.segments b.segments in
+  Array.sort compare_segment arr;
+  { machines = a.machines; segments = arr }
+
+let duration s = s.t1 -. s.t0
+let seg_work s = duration s *. s.speed
+
+let energy power t =
+  Ss_numeric.Kahan.sum_f (Array.length t.segments) (fun i ->
+      let s = t.segments.(i) in
+      Power.energy power ~speed:s.speed ~duration:(duration s))
+
+let work_by_job ~jobs t =
+  let w = Array.make jobs 0. in
+  let acc = Array.init jobs (fun _ -> Ss_numeric.Kahan.create ()) in
+  Array.iter
+    (fun s -> if s.job < jobs then Ss_numeric.Kahan.add acc.(s.job) (seg_work s))
+    t.segments;
+  for i = 0 to jobs - 1 do
+    w.(i) <- Ss_numeric.Kahan.total acc.(i)
+  done;
+  w
+
+let busy_time_by_proc t =
+  let b = Array.make t.machines 0. in
+  Array.iter (fun s -> b.(s.proc) <- b.(s.proc) +. duration s) t.segments;
+  b
+
+let max_speed t =
+  Array.fold_left (fun acc s -> Float.max acc s.speed) 0. t.segments
+
+(* Per-processor speeds at an instant (useful for plots/inspection). *)
+let speeds_at t time =
+  let v = Array.make t.machines 0. in
+  Array.iter
+    (fun s -> if s.t0 <= time && time < s.t1 then v.(s.proc) <- s.speed)
+    t.segments;
+  v
+
+let segments_of_job t job =
+  Array.to_list t.segments
+  |> List.filter (fun s -> s.job = job)
+  |> List.sort (fun a b -> Float.compare a.t0 b.t0)
+
+(* Number of times a job resumes on a different processor than the one it
+   last ran on. *)
+let migrations_of_job t job =
+  let segs = segments_of_job t job in
+  let rec count acc = function
+    | a :: (b :: _ as rest) -> count (if a.proc <> b.proc then acc + 1 else acc) rest
+    | _ -> acc
+  in
+  count 0 segs
+
+let total_migrations ~jobs t =
+  let acc = ref 0 in
+  for j = 0 to jobs - 1 do
+    acc := !acc + migrations_of_job t j
+  done;
+  !acc
+
+(* Number of times a job is suspended and later resumed. *)
+let preemptions_of_job ?(tol = 1e-9) t job =
+  let segs = segments_of_job t job in
+  let rec count acc = function
+    | a :: (b :: _ as rest) ->
+      let gap = b.t0 -. a.t1 > tol *. (1. +. Float.abs a.t1) in
+      count (if gap || a.proc <> b.proc then acc + 1 else acc) rest
+    | _ -> acc
+  in
+  count 0 segs
+
+type infeasibility =
+  | Unknown_job of int
+  | Outside_window of int
+  | Wrong_work of { job : int; got : float; want : float }
+  | Processor_overlap of { proc : int; time : float }
+  | Parallel_execution of { job : int; time : float }
+
+let pp_infeasibility ppf = function
+  | Unknown_job j -> Format.fprintf ppf "segment references unknown job %d" j
+  | Outside_window j -> Format.fprintf ppf "job %d executed outside [r,d)" j
+  | Wrong_work { job; got; want } ->
+    Format.fprintf ppf "job %d work %.9g, required %.9g" job got want
+  | Processor_overlap { proc; time } ->
+    Format.fprintf ppf "processor %d double-booked near t=%.9g" proc time
+  | Parallel_execution { job; time } ->
+    Format.fprintf ppf "job %d on two processors near t=%.9g" job time
+
+(* Full feasibility audit against an instance.  [tol] is relative. *)
+let check ?(tol = 1e-6) (inst : Job.instance) t =
+  let errs = ref [] in
+  let n = Array.length inst.jobs in
+  let push e = errs := e :: !errs in
+  let rel_tol x = tol *. (1. +. Float.abs x) in
+  (* Segment-level checks. *)
+  Array.iter
+    (fun s ->
+      if s.job >= n then push (Unknown_job s.job)
+      else begin
+        let j = inst.jobs.(s.job) in
+        if s.t0 < j.release -. rel_tol j.release || s.t1 > j.deadline +. rel_tol j.deadline
+        then push (Outside_window s.job)
+      end)
+    t.segments;
+  (* Work accounting. *)
+  let w = work_by_job ~jobs:n t in
+  for i = 0 to n - 1 do
+    let want = inst.jobs.(i).work in
+    if Float.abs (w.(i) -. want) > tol *. Float.max 1. want then
+      push (Wrong_work { job = i; got = w.(i); want })
+  done;
+  (* No processor double-booking: segments are sorted by (proc, t0). *)
+  let m = Array.length t.segments in
+  for i = 0 to m - 2 do
+    let a = t.segments.(i) and b = t.segments.(i + 1) in
+    if a.proc = b.proc && b.t0 < a.t1 -. rel_tol a.t1 then
+      push (Processor_overlap { proc = a.proc; time = b.t0 })
+  done;
+  (* No job running on two processors at once: sweep per job. *)
+  for j = 0 to n - 1 do
+    let segs = segments_of_job t j in
+    let rec sweep = function
+      | a :: (b :: _ as rest) ->
+        if b.t0 < a.t1 -. rel_tol a.t1 then push (Parallel_execution { job = j; time = b.t0 });
+        sweep rest
+      | _ -> ()
+    in
+    sweep segs
+  done;
+  List.rev !errs
+
+let is_feasible ?tol inst t = check ?tol inst t = []
+
+(* The Lemma 2 packing: place [entries = (job, duration)] sequentially at
+   [speed] into processors [proc_offset, proc_offset+1, ...], each holding a
+   window of length [t1 - t0].  Entries with full-interval duration are
+   placed first so that a wrapped piece never overlaps itself.  Returns the
+   segments and the number of processors touched. *)
+let wrap_pack ~t0 ~t1 ~proc_offset ~speed entries =
+  let len = t1 -. t0 in
+  if len <= 0. then invalid_arg "Schedule.wrap_pack: empty interval";
+  let eps = 1e-9 *. Float.max 1. len in
+  List.iter
+    (fun (_, dur) ->
+      if dur > len +. eps then invalid_arg "Schedule.wrap_pack: piece longer than interval")
+    entries;
+  let entries = List.filter (fun (_, dur) -> dur > eps) entries in
+  let full, partial = List.partition (fun (_, dur) -> dur >= len -. eps) entries in
+  let ordered = full @ partial in
+  let segs = ref [] in
+  let proc = ref proc_offset in
+  let pos = ref 0. in
+  let emit job a b =
+    if b -. a > eps then
+      segs := { job; proc = !proc; t0 = t0 +. a; t1 = t0 +. b; speed } :: !segs
+  in
+  let advance () =
+    if !pos >= len -. eps then begin
+      incr proc;
+      pos := 0.
+    end
+  in
+  List.iter
+    (fun (job, dur) ->
+      let dur = Float.min dur len in
+      if !pos +. dur <= len +. eps then begin
+        emit job !pos (Float.min (!pos +. dur) len);
+        pos := !pos +. dur;
+        advance ()
+      end
+      else begin
+        (* Split across the processor boundary. *)
+        let first = len -. !pos in
+        emit job !pos len;
+        incr proc;
+        pos := 0.;
+        emit job 0. (dur -. first);
+        pos := dur -. first;
+        advance ()
+      end)
+    ordered;
+  let used = if !pos > eps then !proc - proc_offset + 1 else !proc - proc_offset in
+  (List.rev !segs, used)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>schedule m=%d (%d segments)@," t.machines (Array.length t.segments);
+  Array.iter
+    (fun s ->
+      Format.fprintf ppf "  P%d [%.6g,%.6g) J%d s=%.6g@," s.proc s.t0 s.t1 s.job s.speed)
+    t.segments;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,74 @@
+(** Concrete multi-processor schedules.
+
+    A schedule is a set of segments (job, processor, time window, speed).
+    One feasibility checker and one energy accountant serve every algorithm
+    in the repository. *)
+
+type segment = {
+  job : int;
+  proc : int;
+  t0 : float;
+  t1 : float;
+  speed : float;
+}
+
+type t
+
+val make : machines:int -> segment list -> t
+(** Sorts segments by (processor, start).
+    @raise Invalid_argument on malformed segments. *)
+
+val empty : machines:int -> t
+val machines : t -> int
+val segments : t -> segment array
+val num_segments : t -> int
+
+val concat : t -> t -> t
+(** Union of two segment sets on the same machine count (no overlap
+    checking — run {!check} afterwards if in doubt). *)
+
+val energy : Power.t -> t -> float
+(** Compensated sum of [P(speed) * duration] over all segments. *)
+
+val work_by_job : jobs:int -> t -> float array
+val busy_time_by_proc : t -> float array
+val max_speed : t -> float
+
+val speeds_at : t -> float -> float array
+(** Per-processor speeds at an instant (0 when idle). *)
+
+val segments_of_job : t -> int -> segment list
+(** Time-ordered. *)
+
+val migrations_of_job : t -> int -> int
+val total_migrations : jobs:int -> t -> int
+val preemptions_of_job : ?tol:float -> t -> int -> int
+
+type infeasibility =
+  | Unknown_job of int
+  | Outside_window of int
+  | Wrong_work of { job : int; got : float; want : float }
+  | Processor_overlap of { proc : int; time : float }
+  | Parallel_execution of { job : int; time : float }
+
+val pp_infeasibility : Format.formatter -> infeasibility -> unit
+
+val check : ?tol:float -> Job.instance -> t -> infeasibility list
+(** Complete audit: work totals, windows, processor double-booking, no job
+    on two processors at once.  [tol] is relative (default [1e-6]). *)
+
+val is_feasible : ?tol:float -> Job.instance -> t -> bool
+
+val wrap_pack :
+  t0:float ->
+  t1:float ->
+  proc_offset:int ->
+  speed:float ->
+  (int * float) list ->
+  segment list * int
+(** The Lemma 2 construction: pack [(job, duration)] pieces sequentially at
+    [speed] into processor-sized windows of one interval, full-interval
+    pieces first.  Returns the segments and the number of processors used.
+    @raise Invalid_argument if a piece exceeds the interval length. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/numeric/bigint.ml: Array Char Format Printf String

@@ -1,0 +1,1 @@
+lib/numeric/field.ml: Float Format Printf

@@ -1,0 +1,1 @@
+lib/numeric/heap.ml: Array List

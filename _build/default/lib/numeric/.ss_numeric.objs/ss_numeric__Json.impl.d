@@ -1,0 +1,1 @@
+lib/numeric/json.ml: Buffer Char Float List Printf String

@@ -1,0 +1,1 @@
+lib/numeric/rational.ml: Bigint Field Float Format Int64 String

@@ -1,0 +1,1 @@
+lib/numeric/stats.ml: Array Float Format Kahan

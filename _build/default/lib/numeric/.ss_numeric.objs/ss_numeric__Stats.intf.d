@@ -1,0 +1,1 @@
+lib/numeric/stats.mli: Format

@@ -1,0 +1,1 @@
+lib/numeric/table.ml: Array Buffer Float List Printf String

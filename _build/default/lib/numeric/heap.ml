@@ -1,0 +1,91 @@
+(* Array-based binary min-heap with a caller-supplied comparison.
+
+   Substrate for event-driven simulation (EDF job selection orders live
+   jobs by deadline).  The standard-library has no heap; this one is
+   small, tested and allocation-light. *)
+
+type 'a t = {
+  compare : 'a -> 'a -> int;
+  mutable data : 'a array;
+  mutable size : int;
+}
+
+let create ~compare = { compare; data = [||]; size = 0 }
+
+let length h = h.size
+let is_empty h = h.size = 0
+
+let ensure h =
+  let cap = Array.length h.data in
+  if h.size >= cap then begin
+    let dummy = h.data.(0) in
+    let grown = Array.make (max 8 (2 * cap)) dummy in
+    Array.blit h.data 0 grown 0 h.size;
+    h.data <- grown
+  end
+
+let swap h i j =
+  let tmp = h.data.(i) in
+  h.data.(i) <- h.data.(j);
+  h.data.(j) <- tmp
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.compare h.data.(i) h.data.(parent) < 0 then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.size && h.compare h.data.(l) h.data.(!smallest) < 0 then smallest := l;
+  if r < h.size && h.compare h.data.(r) h.data.(!smallest) < 0 then smallest := r;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let push h x =
+  if h.size = 0 && Array.length h.data = 0 then h.data <- Array.make 8 x;
+  ensure h;
+  h.data.(h.size) <- x;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let peek h = if h.size = 0 then None else Some h.data.(0)
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.data.(0) <- h.data.(h.size);
+      sift_down h 0
+    end;
+    Some top
+  end
+
+let of_list ~compare xs =
+  let h = create ~compare in
+  List.iter (push h) xs;
+  h
+
+let to_sorted_list h =
+  (* Non-destructive: drain a copy. *)
+  if h.size = 0 then []
+  else begin
+    let copy = { compare = h.compare; data = Array.sub h.data 0 h.size; size = h.size } in
+    let rec drain acc =
+      match pop copy with None -> List.rev acc | Some x -> drain (x :: acc)
+    in
+    drain []
+  end
+
+let iter_unordered h f =
+  for i = 0 to h.size - 1 do
+    f h.data.(i)
+  done

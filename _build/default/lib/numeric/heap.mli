@@ -1,0 +1,19 @@
+(** Array-based binary min-heap (caller-supplied comparison). *)
+
+type 'a t
+
+val create : compare:('a -> 'a -> int) -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** Smallest element, not removed. *)
+
+val pop : 'a t -> 'a option
+val of_list : compare:('a -> 'a -> int) -> 'a list -> 'a t
+
+val to_sorted_list : 'a t -> 'a list
+(** Ascending; non-destructive. *)
+
+val iter_unordered : 'a t -> ('a -> unit) -> unit

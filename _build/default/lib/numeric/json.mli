@@ -1,0 +1,26 @@
+(** Minimal dependency-free JSON (print + parse).
+
+    ASCII-complete; non-ASCII [\u] escapes parse to a placeholder.  Used
+    for schedule/instance export. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of int * string
+(** Byte position and description. *)
+
+val to_string : t -> string
+(** @raise Invalid_argument on non-finite numbers. *)
+
+val of_string : string -> t
+(** @raise Parse_error on malformed input. *)
+
+val member : string -> t -> t option
+val to_float_opt : t -> float option
+val to_list_opt : t -> t list option
+val to_string_opt : t -> string option

@@ -1,0 +1,35 @@
+(* Kahan–Babuška (Neumaier) compensated summation.  Energy totals add many
+   terms of wildly different magnitude (P(s)·dt across thousands of
+   segments); naive summation loses digits that the optimality cross-checks
+   then flag as spurious gaps. *)
+
+type t = { mutable sum : float; mutable comp : float }
+
+let create () = { sum = 0.; comp = 0. }
+
+let add t x =
+  let s = t.sum +. x in
+  let c =
+    if Float.abs t.sum >= Float.abs x then (t.sum -. s) +. x else (x -. s) +. t.sum
+  in
+  t.comp <- t.comp +. c;
+  t.sum <- s
+
+let total t = t.sum +. t.comp
+
+let sum_array a =
+  let t = create () in
+  Array.iter (add t) a;
+  total t
+
+let sum_list l =
+  let t = create () in
+  List.iter (add t) l;
+  total t
+
+let sum_f n f =
+  let t = create () in
+  for i = 0 to n - 1 do
+    add t (f i)
+  done;
+  total t

@@ -1,0 +1,12 @@
+(** Neumaier compensated summation for energy/time accumulation. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val total : t -> float
+val sum_array : float array -> float
+val sum_list : float list -> float
+
+val sum_f : int -> (int -> float) -> float
+(** [sum_f n f] is the compensated sum of [f 0 .. f (n-1)]. *)

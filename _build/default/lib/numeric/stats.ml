@@ -1,0 +1,80 @@
+(* Descriptive statistics for experiment reporting. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  minimum : float;
+  maximum : float;
+  median : float;
+  geomean : float;
+}
+
+let mean a =
+  if Array.length a = 0 then invalid_arg "Stats.mean: empty";
+  Kahan.sum_array a /. float_of_int (Array.length a)
+
+let variance a =
+  let n = Array.length a in
+  if n < 2 then 0.
+  else begin
+    let m = mean a in
+    Kahan.sum_f n (fun i -> (a.(i) -. m) ** 2.) /. float_of_int (n - 1)
+  end
+
+let stddev a = sqrt (variance a)
+
+let quantile a q =
+  if Array.length a = 0 then invalid_arg "Stats.quantile: empty";
+  if q < 0. || q > 1. then invalid_arg "Stats.quantile: q outside [0,1]";
+  let sorted = Array.copy a in
+  Array.sort Float.compare sorted;
+  let n = Array.length sorted in
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor pos) in
+  let hi = int_of_float (Float.ceil pos) in
+  if lo = hi then sorted.(lo)
+  else begin
+    let w = pos -. float_of_int lo in
+    ((1. -. w) *. sorted.(lo)) +. (w *. sorted.(hi))
+  end
+
+let median a = quantile a 0.5
+
+let geomean a =
+  if Array.length a = 0 then invalid_arg "Stats.geomean: empty";
+  let logs = Array.map (fun x -> if x <= 0. then invalid_arg "Stats.geomean: non-positive" else log x) a in
+  exp (mean logs)
+
+let minimum a =
+  if Array.length a = 0 then invalid_arg "Stats.minimum: empty";
+  Array.fold_left Float.min a.(0) a
+
+let maximum a =
+  if Array.length a = 0 then invalid_arg "Stats.maximum: empty";
+  Array.fold_left Float.max a.(0) a
+
+let summarize a = {
+  n = Array.length a;
+  mean = mean a;
+  stddev = stddev a;
+  minimum = minimum a;
+  maximum = maximum a;
+  median = median a;
+  geomean = (if Array.for_all (fun x -> x > 0.) a then geomean a else Float.nan);
+}
+
+(* Least-squares slope of log y against log x: empirical complexity
+   exponent for the runtime-scaling experiments (F4). *)
+let loglog_slope xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys || n < 2 then invalid_arg "Stats.loglog_slope";
+  let lx = Array.map log xs and ly = Array.map log ys in
+  let mx = mean lx and my = mean ly in
+  let cov = Kahan.sum_f n (fun i -> (lx.(i) -. mx) *. (ly.(i) -. my)) in
+  let var = Kahan.sum_f n (fun i -> (lx.(i) -. mx) ** 2.) in
+  cov /. var
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d mean=%.4g sd=%.4g min=%.4g med=%.4g max=%.4g"
+    s.n s.mean s.stddev s.minimum s.median s.maximum

@@ -1,0 +1,32 @@
+(** Descriptive statistics used by the experiment harness. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  minimum : float;
+  maximum : float;
+  median : float;
+  geomean : float;  (** NaN when a sample is non-positive. *)
+}
+
+val mean : float array -> float
+val variance : float array -> float
+(** Sample variance (n−1 denominator); 0 for singletons. *)
+
+val stddev : float array -> float
+
+val quantile : float array -> float -> float
+(** Linear-interpolation quantile; input need not be sorted. *)
+
+val median : float array -> float
+val geomean : float array -> float
+val minimum : float array -> float
+val maximum : float array -> float
+val summarize : float array -> summary
+
+val loglog_slope : float array -> float array -> float
+(** Least-squares slope of [log y] vs [log x]: empirical complexity
+    exponent. *)
+
+val pp_summary : Format.formatter -> summary -> unit

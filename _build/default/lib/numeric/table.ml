@@ -1,0 +1,78 @@
+(* Plain-text table rendering for the experiment harness.  Columns are
+   sized to content; numeric-looking cells are right-aligned. *)
+
+type t = {
+  title : string;
+  headers : string list;
+  rows : string list list;
+}
+
+let make ~title ~headers rows =
+  List.iter
+    (fun row ->
+      if List.length row <> List.length headers then
+        invalid_arg "Table.make: row width mismatch")
+    rows;
+  { title; headers; rows }
+
+let looks_numeric s =
+  s <> ""
+  && String.for_all (fun c -> (c >= '0' && c <= '9') || c = '.' || c = '-' || c = '+' || c = 'e' || c = 'x' || c = '%') s
+
+let render t =
+  let ncols = List.length t.headers in
+  let widths = Array.make ncols 0 in
+  let feed row = List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row in
+  feed t.headers;
+  List.iter feed t.rows;
+  let buf = Buffer.create 1024 in
+  let pad i cell =
+    let w = widths.(i) in
+    let n = w - String.length cell in
+    if looks_numeric cell then String.make n ' ' ^ cell else cell ^ String.make n ' '
+  in
+  let line row =
+    Buffer.add_string buf "| ";
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf " | ";
+        Buffer.add_string buf (pad i cell))
+      row;
+    Buffer.add_string buf " |\n"
+  in
+  let rule () =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  if t.title <> "" then begin
+    Buffer.add_string buf t.title;
+    Buffer.add_char buf '\n'
+  end;
+  rule ();
+  line t.headers;
+  rule ();
+  List.iter line t.rows;
+  rule ();
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+(* Cell formatting helpers shared by all experiments, so every table prints
+   numbers the same way. *)
+let cell_f ?(digits = 4) x =
+  if Float.is_nan x then "nan" else Printf.sprintf "%.*g" digits x
+
+let cell_fixed ?(digits = 3) x =
+  if Float.is_nan x then "nan" else Printf.sprintf "%.*f" digits x
+
+let cell_pct x =
+  if Float.is_nan x then "nan" else Printf.sprintf "%.3f%%" (100. *. x)
+
+let cell_int = string_of_int
+
+let cell_bool b = if b then "yes" else "no"

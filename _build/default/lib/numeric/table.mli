@@ -1,0 +1,21 @@
+(** Plain-text aligned tables for experiment output. *)
+
+type t
+
+val make : title:string -> headers:string list -> string list list -> t
+(** @raise Invalid_argument when a row width differs from the header. *)
+
+val render : t -> string
+val print : t -> unit
+
+val cell_f : ?digits:int -> float -> string
+(** Significant-digit formatting (default 4). *)
+
+val cell_fixed : ?digits:int -> float -> string
+(** Fixed-point formatting (default 3 decimals). *)
+
+val cell_pct : float -> string
+(** [0.0123] renders as ["1.230%"]. *)
+
+val cell_int : int -> string
+val cell_bool : bool -> string

@@ -1,0 +1,1 @@
+lib/online/avr.ml: Array List Ss_model Ss_numeric

@@ -1,0 +1,1 @@
+lib/online/avr.mli: Ss_model

@@ -1,0 +1,1 @@
+lib/online/bkp.ml: Array Edf Float List Ss_model Ss_numeric

@@ -1,0 +1,1 @@
+lib/online/bkp.mli: Ss_model

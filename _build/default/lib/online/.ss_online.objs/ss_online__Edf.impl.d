@@ -1,0 +1,1 @@
+lib/online/edf.ml: Array Float Fun List Ss_model Ss_numeric

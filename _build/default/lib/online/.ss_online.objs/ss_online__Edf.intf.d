@@ -1,0 +1,1 @@
+lib/online/edf.mli: Ss_model

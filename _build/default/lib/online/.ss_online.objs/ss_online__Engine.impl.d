@@ -1,0 +1,1 @@
+lib/online/engine.ml: Array Float List Ss_model

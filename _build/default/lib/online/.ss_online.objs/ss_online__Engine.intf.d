@@ -1,0 +1,1 @@
+lib/online/engine.mli: Ss_model

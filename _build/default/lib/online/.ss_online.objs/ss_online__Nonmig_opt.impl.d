@@ -1,0 +1,1 @@
+lib/online/nonmig_opt.ml: Array Float Fun List Nonmigratory Ss_core Ss_model Ss_numeric

@@ -1,0 +1,1 @@
+lib/online/nonmig_opt.mli: Ss_model

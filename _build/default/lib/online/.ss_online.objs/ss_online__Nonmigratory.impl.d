@@ -1,0 +1,1 @@
+lib/online/nonmigratory.ml: Array Float Int64 List Printf Ss_core Ss_model

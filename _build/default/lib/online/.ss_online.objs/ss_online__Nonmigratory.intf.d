@@ -1,0 +1,1 @@
+lib/online/nonmigratory.mli: Ss_model

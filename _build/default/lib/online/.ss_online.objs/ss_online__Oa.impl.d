@@ -1,0 +1,1 @@
+lib/online/oa.ml: Array Engine List Ss_core Ss_model

@@ -1,0 +1,1 @@
+lib/online/oa.mli: Ss_model

@@ -1,0 +1,1 @@
+lib/online/potential.ml: Array Float List Oa Ss_core Ss_model Ss_numeric

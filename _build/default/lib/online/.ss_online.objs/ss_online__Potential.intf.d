@@ -1,0 +1,1 @@
+lib/online/potential.mli: Ss_model

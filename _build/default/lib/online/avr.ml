@@ -1,0 +1,139 @@
+(* Average Rate for m processors — AVR(m), Section 3.2 / Fig. 3.
+
+   In each unit interval I_t, every active job receives exactly its density
+   δ_i = w_i / (d_i - r_i) units of work.  Jobs whose density exceeds the
+   average load of the rest get a dedicated processor at speed δ_i
+   (peeling); the remainder is balanced at the uniform speed Δ'/|M| and
+   wrap-packed across the remaining processors.  Theorem 3:
+   ((2α)^α)/2 + 1 -competitive for P(s) = s^α.
+
+   Release times and deadlines must be integral (the paper's wlog). *)
+
+module Job = Ss_model.Job
+module Schedule = Ss_model.Schedule
+module Power = Ss_model.Power
+
+type info = {
+  intervals : int;
+  peeled : int;            (* dedicated-processor assignments, total *)
+}
+
+(* The core step shared by the unit-interval algorithm (the paper's
+   Fig. 3) and the grid generalization: schedule density * |interval| work
+   for each active job inside [t0, t1), peeling over-dense jobs onto
+   dedicated processors.  Appends segments; returns peel count. *)
+let schedule_interval ~machines ~density ~segments ~t0 ~t1 active =
+  let rest = ref active in
+  let free = ref machines in
+  let proc = ref 0 in
+  let peeled = ref 0 in
+  let continue_peeling = ref true in
+  while !continue_peeling && !rest <> [] do
+    let delta' = Ss_numeric.Kahan.sum_list (List.map (fun i -> density.(i)) !rest) in
+    let imax =
+      List.fold_left (fun acc i -> if density.(i) > density.(acc) then i else acc)
+        (List.hd !rest) !rest
+    in
+    if density.(imax) > delta' /. float_of_int !free then begin
+      assert (!free > 1);
+      segments :=
+        { Schedule.job = imax; proc = !proc; t0; t1; speed = density.(imax) } :: !segments;
+      rest := List.filter (fun i -> i <> imax) !rest;
+      decr free;
+      incr proc;
+      incr peeled
+    end
+    else continue_peeling := false
+  done;
+  if !rest <> [] then begin
+    let delta' = Ss_numeric.Kahan.sum_list (List.map (fun i -> density.(i)) !rest) in
+    let speed = delta' /. float_of_int !free in
+    (* Each job runs density/speed fraction of the interval. *)
+    let entries = List.map (fun i -> (i, (t1 -. t0) *. density.(i) /. speed)) !rest in
+    let segs, used = Schedule.wrap_pack ~t0 ~t1 ~proc_offset:!proc ~speed entries in
+    if used > !free then failwith "Avr: packing exceeded free processors";
+    segments := List.rev_append segs !segments
+  end;
+  !peeled
+
+(* Grid generalization: the paper assumes integral times wlog; replacing
+   the unit intervals with the release/deadline grid (inside which the
+   active set is constant) yields the same speeds on integral instances
+   (the peeling decisions are scale-invariant within an interval) and
+   extends AVR(m) to arbitrary real times. *)
+let run_on_grid (inst : Job.instance) =
+  (match Job.validate inst with
+  | [] -> ()
+  | _ -> invalid_arg "Avr.run_on_grid: invalid instance");
+  let grid = Ss_model.Interval.make inst.jobs in
+  let n = Array.length inst.jobs in
+  let density = Array.init n (fun i -> Job.density inst.jobs.(i)) in
+  let segments = ref [] in
+  let peeled_total = ref 0 in
+  for jv = 0 to Ss_model.Interval.length grid - 1 do
+    let t0 = Ss_model.Interval.start grid jv and t1 = Ss_model.Interval.stop grid jv in
+    let active = Ss_model.Interval.active grid jv in
+    peeled_total :=
+      !peeled_total
+      + schedule_interval ~machines:inst.machines ~density ~segments ~t0 ~t1 active
+  done;
+  let schedule = Schedule.make ~machines:inst.machines !segments in
+  (schedule, { intervals = Ss_model.Interval.length grid; peeled = !peeled_total })
+
+let run (inst : Job.instance) =
+  (match Job.validate inst with
+  | [] -> ()
+  | _ -> invalid_arg "Avr.run: invalid instance");
+  if not (Job.integral_times inst) then
+    invalid_arg "Avr.run: AVR(m) requires integral release times and deadlines";
+  let lo, hi = Job.horizon inst in
+  let t_start = int_of_float lo and t_end = int_of_float hi in
+  let n = Array.length inst.jobs in
+  let density = Array.init n (fun i -> Job.density inst.jobs.(i)) in
+  let segments = ref [] in
+  let peeled_total = ref 0 in
+  for t = t_start to t_end - 1 do
+    let t0 = float_of_int t and t1 = float_of_int (t + 1) in
+    let active = ref [] in
+    for i = n - 1 downto 0 do
+      let j = inst.jobs.(i) in
+      if j.release <= t0 && t1 <= j.deadline then active := i :: !active
+    done;
+    (* Lines 3-6 of Fig. 3. *)
+    peeled_total :=
+      !peeled_total
+      + schedule_interval ~machines:inst.machines ~density ~segments ~t0 ~t1 !active
+  done;
+  let schedule = Schedule.make ~machines:inst.machines !segments in
+  (schedule, { intervals = t_end - t_start; peeled = !peeled_total })
+
+let schedule inst = fst (run inst)
+
+let energy power inst = Schedule.energy power (schedule inst)
+
+(* The classical single-processor AVR: speed Δ_t = total active density in
+   I_t.  Used by experiment E5 to verify the inequality chain of the
+   Theorem 3 proof. *)
+let single_processor_energy power (inst : Job.instance) =
+  if not (Job.integral_times inst) then
+    invalid_arg "Avr.single_processor_energy: requires integral times";
+  let lo, hi = Job.horizon inst in
+  let t_start = int_of_float lo and t_end = int_of_float hi in
+  Ss_numeric.Kahan.sum_f (t_end - t_start) (fun off ->
+      let t0 = float_of_int (t_start + off) and t1 = float_of_int (t_start + off + 1) in
+      let delta =
+        Ss_numeric.Kahan.sum_f (Array.length inst.jobs) (fun i ->
+            let j = inst.jobs.(i) in
+            if j.release <= t0 && t1 <= j.deadline then Job.density j else 0.)
+      in
+      Power.eval power delta)
+
+(* Theorem 3 guarantee. *)
+let competitive_bound ~alpha =
+  if alpha <= 1. then invalid_arg "Avr.competitive_bound: alpha <= 1";
+  (((2. *. alpha) ** alpha) /. 2.) +. 1.
+
+(* Yao et al.'s single-processor AVR guarantee, used in the proof. *)
+let single_processor_bound ~alpha =
+  if alpha <= 1. then invalid_arg "Avr.single_processor_bound: alpha <= 1";
+  ((2. *. alpha) ** alpha) /. 2.

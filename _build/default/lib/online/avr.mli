@@ -1,0 +1,32 @@
+(** Average Rate for m processors — AVR(m) (Section 3.2, Fig. 3).
+
+    Per unit interval, each active job receives its density δ_i of work;
+    over-dense jobs are peeled onto dedicated processors and the rest run
+    balanced at Δ'/|M|.  Theorem 3: [((2α)^α)/2 + 1]-competitive. *)
+
+type info = {
+  intervals : int;
+  peeled : int;
+}
+
+val run : Ss_model.Job.instance -> Ss_model.Schedule.t * info
+(** @raise Invalid_argument on invalid instances or non-integral
+    release/deadline times. *)
+
+val run_on_grid : Ss_model.Job.instance -> Ss_model.Schedule.t * info
+(** Grid generalization: unit intervals replaced by the release/deadline
+    grid, lifting the integral-times precondition.  Coincides with {!run}
+    on integral instances (peeling is scale-invariant per interval). *)
+
+val schedule : Ss_model.Job.instance -> Ss_model.Schedule.t
+val energy : Ss_model.Power.t -> Ss_model.Job.instance -> float
+
+val single_processor_energy : Ss_model.Power.t -> Ss_model.Job.instance -> float
+(** Energy of classical single-processor AVR (speed [Δ_t]); consumed by
+    the Theorem 3 inequality-chain experiment. *)
+
+val competitive_bound : alpha:float -> float
+(** [((2α)^α)/2 + 1] (Theorem 3). *)
+
+val single_processor_bound : alpha:float -> float
+(** [((2α)^α)/2] (Yao et al., used inside the proof). *)

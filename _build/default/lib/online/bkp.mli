@@ -1,0 +1,19 @@
+(** Single-processor BKP (Bansal–Kimbrel–Pruhs) — the algorithm whose
+    multi-processor extension the paper's conclusion leaves open.
+    Discretized simulation; extension material, not part of the headline
+    experiments. *)
+
+type outcome = {
+  schedule : Ss_model.Schedule.t;
+  max_residue : float;
+      (** largest unfinished work fraction at a deadline caused by
+          discretization; shrinks as [steps_per_event] grows *)
+}
+
+val run : ?steps_per_event:int -> Ss_model.Job.instance -> outcome
+(** @raise Invalid_argument unless [machines = 1]. *)
+
+val energy : ?steps_per_event:int -> Ss_model.Power.t -> Ss_model.Job.instance -> float
+
+val competitive_bound : alpha:float -> float
+(** [2 (α/(α−1))^α e^α]. *)

@@ -1,0 +1,40 @@
+(* Shared machinery for event-driven online simulation.
+
+   Online algorithms see jobs at their release times.  The simulation
+   advances from arrival to arrival; whatever plan the algorithm commits to
+   for the open horizon is clipped to the slice up to the next arrival,
+   appended to the emerging online schedule, and charged against the jobs'
+   remaining work. *)
+
+module Job = Ss_model.Job
+module Schedule = Ss_model.Schedule
+
+(* Distinct release times, ascending. *)
+let arrival_times (inst : Job.instance) =
+  Array.to_list inst.jobs
+  |> List.map (fun (j : Job.t) -> j.release)
+  |> List.sort_uniq Float.compare
+
+(* Jobs released at exactly time [t]. *)
+let arriving (inst : Job.instance) t =
+  let ids = ref [] in
+  Array.iteri (fun i (j : Job.t) -> if j.release = t then ids := i :: !ids) inst.jobs;
+  List.rev !ids
+
+(* Clip segments to the window [lo, hi); charges nothing outside. *)
+let clip_segments ~lo ~hi segments =
+  List.filter_map
+    (fun (s : Schedule.segment) ->
+      let t0 = Float.max s.t0 lo and t1 = Float.min s.t1 hi in
+      if t1 > t0 then Some { s with t0; t1 } else None)
+    segments
+
+(* Work performed per job by a list of segments, added into [acc]. *)
+let charge_work acc segments =
+  List.iter
+    (fun (s : Schedule.segment) ->
+      acc.(s.job) <- acc.(s.job) +. ((s.t1 -. s.t0) *. s.speed))
+    segments
+
+(* Relative completion test: remaining work below [tol] of the original. *)
+let finished ~tol ~work ~done_ = work -. done_ <= tol *. Float.max 1. work

@@ -1,0 +1,14 @@
+(** Shared helpers for event-driven online simulation. *)
+
+val arrival_times : Ss_model.Job.instance -> float list
+(** Distinct release times, ascending. *)
+
+val arriving : Ss_model.Job.instance -> float -> int list
+(** Jobs released exactly at [t]. *)
+
+val clip_segments :
+  lo:float -> hi:float -> Ss_model.Schedule.segment list -> Ss_model.Schedule.segment list
+
+val charge_work : float array -> Ss_model.Schedule.segment list -> unit
+
+val finished : tol:float -> work:float -> done_:float -> bool

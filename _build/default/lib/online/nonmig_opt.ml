@@ -1,0 +1,121 @@
+(* Exact optimal non-migratory scheduling (small instances).
+
+   Without migration the problem is NP-hard even for unit works (Albers,
+   Müller, Schmelzer — the paper's ref [1]); an optimal solution is a
+   partition of jobs among machines, each machine then running its subset
+   at the single-processor optimum (YDS).  This module finds the optimal
+   partition by branch-and-bound:
+
+   - jobs are assigned in decreasing-work order;
+   - machine symmetry is broken (a job may open at most one new machine);
+   - pruning uses superadditivity: E(S ∪ {j}) >= E(S) + E({j}) on one
+     machine, so  sum_machines E(assigned) + sum_unassigned E({j})
+     lower-bounds every completion of a partial assignment.
+
+   Purpose: measure the true power of migration (E7's heuristics only
+   upper-bound the non-migratory optimum) and validate the expected
+   Bell-number approximation factor of random assignment (Greiner,
+   Nonner, Souza — the paper's ref [8]) in experiment E12. *)
+
+module Job = Ss_model.Job
+module Power = Ss_model.Power
+module Schedule = Ss_model.Schedule
+
+type result = {
+  energy : float;
+  assignment : int array;    (* job -> machine *)
+  nodes : int;               (* search nodes explored *)
+}
+
+(* Single-machine optimal energy of a job subset. *)
+let machine_energy power (inst : Job.instance) members =
+  match members with
+  | [] -> 0.
+  | _ ->
+    let sub = Job.instance ~machines:1 (List.map (fun i -> inst.jobs.(i)) members) in
+    Ss_core.Yds.energy power (Ss_core.Yds.solve sub)
+
+let solve ?(max_jobs = 16) power (inst : Job.instance) =
+  (match Job.validate inst with
+  | [] -> ()
+  | _ -> invalid_arg "Nonmig_opt.solve: invalid instance");
+  let n = Array.length inst.jobs in
+  if n > max_jobs then invalid_arg "Nonmig_opt.solve: instance too large for exact search";
+  let m = inst.machines in
+  (* Decreasing work order improves pruning. *)
+  let order = Array.init n Fun.id in
+  Array.sort (fun a b -> Float.compare inst.jobs.(b).work inst.jobs.(a).work) order;
+  let standalone =
+    Array.init n (fun i -> machine_energy power inst [ i ])
+  in
+  (* Suffix sums of standalone bounds in assignment order. *)
+  let suffix = Array.make (n + 1) 0. in
+  for pos = n - 1 downto 0 do
+    suffix.(pos) <- suffix.(pos + 1) +. standalone.(order.(pos))
+  done;
+  let best_energy = ref infinity in
+  let best_assignment = Array.make n 0 in
+  let current = Array.make n (-1) in
+  let machine_members = Array.make m [] in
+  let machine_cost = Array.make m 0. in
+  let nodes = ref 0 in
+  let rec branch pos used assigned_cost =
+    incr nodes;
+    if assigned_cost +. suffix.(pos) >= !best_energy then ()
+    else if pos = n then begin
+      best_energy := assigned_cost;
+      Array.blit current 0 best_assignment 0 n
+    end
+    else begin
+      let job = order.(pos) in
+      (* Try existing machines plus (at most) one fresh machine. *)
+      let limit = min (used + 1) m in
+      for machine = 0 to limit - 1 do
+        let saved_members = machine_members.(machine) in
+        let saved_cost = machine_cost.(machine) in
+        let members = job :: saved_members in
+        let cost = machine_energy power inst members in
+        machine_members.(machine) <- members;
+        machine_cost.(machine) <- cost;
+        current.(job) <- machine;
+        branch (pos + 1)
+          (if machine = used then used + 1 else used)
+          (assigned_cost -. saved_cost +. cost);
+        machine_members.(machine) <- saved_members;
+        machine_cost.(machine) <- saved_cost;
+        current.(job) <- -1
+      done
+    end
+  in
+  branch 0 0 0.;
+  { energy = !best_energy; assignment = Array.copy best_assignment; nodes = !nodes }
+
+let schedule power inst =
+  let r = solve power inst in
+  Nonmigratory.schedule_of_assignment inst r.assignment
+
+(* Bell numbers: the approximation factor of uniform random assignment
+   (Greiner-Nonner-Souza) is B_alpha for integer alpha. *)
+let bell_number k =
+  if k < 0 then invalid_arg "Nonmig_opt.bell_number: negative";
+  (* Bell triangle: each row starts with the previous row's last entry;
+     B_k is the head of the k-th row. *)
+  let row = ref [| 1. |] in
+  for _ = 1 to k do
+    let prev = !row in
+    let len = Array.length prev in
+    let next = Array.make (len + 1) 0. in
+    next.(0) <- prev.(len - 1);
+    for i = 1 to len do
+      next.(i) <- next.(i - 1) +. prev.(i - 1)
+    done;
+    row := next
+  done;
+  (!row).(0)
+
+(* Expected random-assignment energy, estimated over seeds. *)
+let random_assignment_mean ~tries power inst =
+  if tries <= 0 then invalid_arg "Nonmig_opt.random_assignment_mean: tries <= 0";
+  Ss_numeric.Kahan.sum_f tries (fun k ->
+      Nonmigratory.energy (Nonmigratory.Random (k + 1)) power inst)
+  /. float_of_int tries

@@ -1,0 +1,28 @@
+(** Exact optimal non-migratory scheduling via branch-and-bound (the
+    NP-hard setting of the paper's refs [1, 8]); small instances only.
+
+    Measures the true power of migration and validates the Bell-number
+    expected approximation factor of uniform random assignment
+    (Greiner–Nonner–Souza). *)
+
+type result = {
+  energy : float;
+  assignment : int array;
+  nodes : int;
+}
+
+val solve : ?max_jobs:int -> Ss_model.Power.t -> Ss_model.Job.instance -> result
+(** @raise Invalid_argument on invalid instances or more than [max_jobs]
+    (default 16) jobs. *)
+
+val schedule : Ss_model.Power.t -> Ss_model.Job.instance -> Ss_model.Schedule.t
+
+val machine_energy : Ss_model.Power.t -> Ss_model.Job.instance -> int list -> float
+(** Single-machine optimal energy of a job subset (YDS). *)
+
+val bell_number : int -> float
+(** [B_k]: 1, 1, 2, 5, 15, 52, ... *)
+
+val random_assignment_mean :
+  tries:int -> Ss_model.Power.t -> Ss_model.Job.instance -> float
+(** Mean energy of uniform random assignment over [tries] seeds. *)

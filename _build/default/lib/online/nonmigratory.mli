@@ -1,0 +1,19 @@
+(** Non-migratory baselines: fix a job→processor assignment, then schedule
+    each processor optimally (the NP-hard setting of the paper's refs
+    [1, 8], approached by assignment heuristics).  Quantifies the benefit
+    of migration. *)
+
+type strategy =
+  | Round_robin
+  | Least_work
+  | Random of int  (** uniform random assignment (Greiner–Nonner–Souza), seeded *)
+
+val strategy_name : strategy -> string
+
+val assign : strategy -> Ss_model.Job.instance -> int array
+val schedule_of_assignment : Ss_model.Job.instance -> int array -> Ss_model.Schedule.t
+val solve : strategy -> Ss_model.Job.instance -> Ss_model.Schedule.t
+val energy : strategy -> Ss_model.Power.t -> Ss_model.Job.instance -> float
+
+val best_random : tries:int -> Ss_model.Power.t -> Ss_model.Job.instance -> float
+(** Minimum energy over seeds [1..tries]. *)

@@ -1,0 +1,106 @@
+(* Optimal Available for m processors — OA(m), Section 3.1 of the paper.
+
+   Whenever a job arrives, recompute an optimal schedule for all currently
+   available unfinished work (using the offline algorithm of Section 2) and
+   follow it until the next arrival.  Theorem 2: the total energy is at
+   most alpha^alpha times optimal for P(s) = s^alpha.
+
+   At m = 1 this is exactly the classical OA of Yao, Demers and Shenker.
+
+   [run_detailed] additionally records each replanning decision (the
+   planned constant speed of every live job), which the test-suite uses to
+   check the monotonicity lemmas (Lemma 7: per-job planned speeds never
+   decrease across replans) and which the Potential module consumes to
+   audit the Theorem 2 potential function numerically. *)
+
+module Job = Ss_model.Job
+module Schedule = Ss_model.Schedule
+
+type plan = {
+  at : float;                      (* replan (arrival) time *)
+  upto : float;                    (* plan followed until this time *)
+  job_speeds : (int * float) list; (* planned constant speed per live job *)
+}
+
+type info = {
+  replans : int;            (* offline recomputations (one per arrival time) *)
+  total_rounds : int;       (* max-flow computations across all replans *)
+}
+
+let default_tol = 1e-9
+
+let run_detailed ?(tol = default_tol) (inst : Job.instance) =
+  (match Job.validate inst with
+  | [] -> ()
+  | _ -> invalid_arg "Oa.run: invalid instance");
+  let n = Array.length inst.jobs in
+  let done_work = Array.make n 0. in
+  let events = Array.of_list (Engine.arrival_times inst) in
+  let horizon_end = snd (Job.horizon inst) in
+  let segments = ref [] in
+  let plans = ref [] in
+  let replans = ref 0 in
+  let total_rounds = ref 0 in
+  Array.iteri
+    (fun e now ->
+      let upto = if e + 1 < Array.length events then events.(e + 1) else horizon_end in
+      (* Available unfinished work at [now]. *)
+      let live = ref [] in
+      for i = n - 1 downto 0 do
+        let j = inst.jobs.(i) in
+        let remaining = j.work -. done_work.(i) in
+        if j.release <= now && not (Engine.finished ~tol ~work:j.work ~done_:done_work.(i))
+        then begin
+          if j.deadline <= now then failwith "Oa.run: job past deadline (drift bug)";
+          live := (i, remaining, j.deadline) :: !live
+        end
+      done;
+      match !live with
+      | [] -> ()
+      | live ->
+        incr replans;
+        let sub_jobs =
+          Array.of_list
+            (List.map
+               (fun (_, remaining, deadline) ->
+                 { Ss_core.Offline.F.release = now; deadline; work = remaining })
+               live)
+        in
+        let ids = Array.of_list (List.map (fun (i, _, _) -> i) live) in
+        let plan = Ss_core.Offline.F.solve ~machines:inst.machines sub_jobs in
+        total_rounds := !total_rounds + plan.stats.rounds;
+        (* Planned speed of every live job (its class speed). *)
+        let job_speeds =
+          List.concat_map
+            (fun (ph : Ss_core.Offline.F.phase) ->
+              List.map (fun local -> (ids.(local), ph.speed)) ph.members)
+            plan.schedule_phases
+          |> List.sort compare
+        in
+        plans := { at = now; upto; job_speeds } :: !plans;
+        let sched = Ss_core.Offline.schedule_of_run ~machines:inst.machines plan in
+        (* Follow the plan until the next arrival; remap to original ids. *)
+        let slice =
+          Engine.clip_segments ~lo:now ~hi:upto (Array.to_list (Schedule.segments sched))
+          |> List.map (fun (s : Schedule.segment) -> { s with job = ids.(s.job) })
+        in
+        Engine.charge_work done_work slice;
+        segments := slice :: !segments)
+    events;
+  let schedule = Schedule.make ~machines:inst.machines (List.concat !segments) in
+  (schedule, { replans = !replans; total_rounds = !total_rounds }, List.rev !plans)
+
+let run ?tol inst =
+  let schedule, info, _ = run_detailed ?tol inst in
+  (schedule, info)
+
+let schedule ?tol inst =
+  let s, _, _ = run_detailed ?tol inst in
+  s
+
+let energy ?tol power inst = Schedule.energy power (schedule ?tol inst)
+
+(* Theorem 2 guarantee. *)
+let competitive_bound ~alpha =
+  if alpha <= 1. then invalid_arg "Oa.competitive_bound: alpha <= 1";
+  alpha ** alpha

@@ -1,0 +1,32 @@
+(** Optimal Available for m processors — OA(m) (Section 3.1).
+
+    Recomputes an optimal schedule for the remaining work at every arrival
+    (via the paper's offline algorithm) and follows it until the next
+    arrival.  Theorem 2: [alpha^alpha]-competitive for [P(s) = s^alpha]. *)
+
+type plan = {
+  at : float;
+  upto : float;
+  job_speeds : (int * float) list;
+      (** planned constant speed of every live job at this replan,
+          sorted by job id *)
+}
+
+type info = {
+  replans : int;
+  total_rounds : int;  (** max-flow computations across all replans *)
+}
+
+val run_detailed :
+  ?tol:float -> Ss_model.Job.instance -> Ss_model.Schedule.t * info * plan list
+(** Full simulation plus the replanning history (consumed by the
+    Lemma 7/8 checks and the {!Potential} audit). *)
+
+val run : ?tol:float -> Ss_model.Job.instance -> Ss_model.Schedule.t * info
+(** @raise Invalid_argument on invalid instances. *)
+
+val schedule : ?tol:float -> Ss_model.Job.instance -> Ss_model.Schedule.t
+val energy : ?tol:float -> Ss_model.Power.t -> Ss_model.Job.instance -> float
+
+val competitive_bound : alpha:float -> float
+(** [alpha ** alpha]. *)

@@ -1,0 +1,64 @@
+(* Data-parallel map over OCaml 5 domains.
+
+   The experiment harness sweeps hundreds of independent (instance, alpha,
+   machines) combinations; each evaluation is pure, so they parallelize
+   trivially.  No external task library ships in this container, so this
+   is a minimal self-contained work-stealing-free scheduler: an atomic
+   work index, one domain per core, strided pull until empty.
+
+   Exceptions raised by the worker function are captured and re-raised in
+   the caller (first one wins); determinism of results is guaranteed
+   because outputs land at their input's index. *)
+
+let default_domains () =
+  (* Leave one core for the orchestrating domain; stay modest to avoid
+     oversubscription inside test runners. *)
+  max 1 (min 8 (Domain.recommended_domain_count () - 1))
+
+let map ?domains f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else begin
+    let wanted = match domains with Some d -> d | None -> default_domains () in
+    let wanted = max 1 (min wanted n) in
+    if wanted = 1 then Array.map f arr
+    else begin
+      let results = Array.make n None in
+      let next = Atomic.make 0 in
+      let error = Atomic.make None in
+      let worker () =
+        let rec loop () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n && Atomic.get error = None then begin
+            (match f arr.(i) with
+            | v -> results.(i) <- Some v
+            | exception e -> ignore (Atomic.compare_and_set error None (Some e)));
+            loop ()
+          end
+        in
+        loop ()
+      in
+      let spawned = List.init (wanted - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      List.iter Domain.join spawned;
+      (match Atomic.get error with Some e -> raise e | None -> ());
+      Array.map
+        (function
+          | Some v -> v
+          | None -> failwith "Pool.map: missing result (worker died)")
+        results
+    end
+  end
+
+let mapi ?domains f arr =
+  let indexed = Array.mapi (fun i x -> (i, x)) arr in
+  map ?domains (fun (i, x) -> f i x) indexed
+
+let map_list ?domains f xs = Array.to_list (map ?domains f (Array.of_list xs))
+
+let map_reduce ?domains ~map:f ~reduce ~init arr =
+  Array.fold_left reduce init (map ?domains f arr)
+
+(* Run independent thunks concurrently (for heterogeneous work items). *)
+let all ?domains thunks =
+  map_list ?domains (fun thunk -> thunk ()) thunks

@@ -1,0 +1,17 @@
+(** Minimal data-parallel map over OCaml 5 domains (atomic work index, one
+    domain per core).  Results are deterministic (indexed by input
+    position); the first worker exception is re-raised in the caller. *)
+
+val default_domains : unit -> int
+(** [min 8 (recommended - 1)], at least 1. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+val mapi : ?domains:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
+val map_list : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+
+val map_reduce :
+  ?domains:int -> map:('a -> 'b) -> reduce:('c -> 'b -> 'c) -> init:'c -> 'a array -> 'c
+(** Parallel map, sequential in-order fold. *)
+
+val all : ?domains:int -> (unit -> 'a) list -> 'a list
+(** Run independent thunks concurrently. *)

@@ -1,0 +1,1 @@
+lib/workload/describe.ml: Array Float Format List Ss_model Ss_numeric

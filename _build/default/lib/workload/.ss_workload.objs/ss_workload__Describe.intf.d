@@ -1,0 +1,1 @@
+lib/workload/describe.mli: Format Ss_model Ss_numeric

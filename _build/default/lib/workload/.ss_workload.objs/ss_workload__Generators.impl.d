@@ -1,0 +1,1 @@
+lib/workload/generators.ml: Array Float List Rng Ss_model

@@ -1,0 +1,1 @@
+lib/workload/generators.mli: Ss_model

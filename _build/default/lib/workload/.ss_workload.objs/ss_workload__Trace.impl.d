@@ -1,0 +1,1 @@
+lib/workload/trace.ml: Array Buffer Fun List Printf Ss_model String

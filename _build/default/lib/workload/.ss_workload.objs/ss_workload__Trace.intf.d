@@ -1,0 +1,1 @@
+lib/workload/trace.mli: Ss_model

@@ -1,0 +1,73 @@
+(* Instance descriptive statistics: what kind of workload is this?
+
+   Used by the CLI (validate --verbose), the examples and EXPERIMENTS.md to
+   characterize the generated families without eyeballing raw traces. *)
+
+module Job = Ss_model.Job
+module Interval = Ss_model.Interval
+
+type t = {
+  jobs : int;
+  machines : int;
+  horizon : float * float;
+  total_work : float;
+  load_factor : float;
+  density : Ss_numeric.Stats.summary;
+  span : Ss_numeric.Stats.summary;
+  work : Ss_numeric.Stats.summary;
+  max_concurrency : int;     (* peak number of simultaneously active jobs *)
+  avg_concurrency : float;   (* time-averaged active count *)
+  integral_times : bool;
+  distinct_arrivals : int;
+}
+
+let analyze (inst : Job.instance) =
+  (match Job.validate inst with
+  | [] -> ()
+  | _ -> invalid_arg "Describe.analyze: invalid instance");
+  let grid = Interval.make inst.jobs in
+  let k = Interval.length grid in
+  let max_concurrency = ref 0 in
+  let weighted = ref 0. in
+  for j = 0 to k - 1 do
+    let c = Interval.active_count grid j in
+    max_concurrency := max !max_concurrency c;
+    weighted := !weighted +. (float_of_int c *. Interval.width grid j)
+  done;
+  let field f = Array.map f inst.jobs in
+  let arrivals =
+    Array.to_list (field (fun (j : Job.t) -> j.release)) |> List.sort_uniq Float.compare
+  in
+  {
+    jobs = Array.length inst.jobs;
+    machines = inst.machines;
+    horizon = Job.horizon inst;
+    total_work = Job.total_work inst;
+    load_factor = Job.load_factor inst;
+    density = Ss_numeric.Stats.summarize (field Job.density);
+    span = Ss_numeric.Stats.summarize (field Job.span);
+    work = Ss_numeric.Stats.summarize (field (fun (j : Job.t) -> j.work));
+    max_concurrency = !max_concurrency;
+    avg_concurrency = !weighted /. Interval.total_width grid;
+    integral_times = Job.integral_times inst;
+    distinct_arrivals = List.length arrivals;
+  }
+
+let pp ppf d =
+  let lo, hi = d.horizon in
+  Format.fprintf ppf
+    "@[<v>%d jobs on %d machines, horizon [%g, %g)@,\
+     total work %.4g, load factor %.3f@,\
+     density: %a@,\
+     span:    %a@,\
+     work:    %a@,\
+     concurrency: max %d, time-avg %.2f@,\
+     arrivals: %d distinct%s@]"
+    d.jobs d.machines lo hi d.total_work d.load_factor
+    Ss_numeric.Stats.pp_summary d.density
+    Ss_numeric.Stats.pp_summary d.span
+    Ss_numeric.Stats.pp_summary d.work
+    d.max_concurrency d.avg_concurrency d.distinct_arrivals
+    (if d.integral_times then "" else " (non-integral times)")
+
+let to_string d = Format.asprintf "%a" pp d

@@ -1,0 +1,22 @@
+(** Descriptive statistics of an instance (workload characterization). *)
+
+type t = {
+  jobs : int;
+  machines : int;
+  horizon : float * float;
+  total_work : float;
+  load_factor : float;
+  density : Ss_numeric.Stats.summary;
+  span : Ss_numeric.Stats.summary;
+  work : Ss_numeric.Stats.summary;
+  max_concurrency : int;
+  avg_concurrency : float;
+  integral_times : bool;
+  distinct_arrivals : int;
+}
+
+val analyze : Ss_model.Job.instance -> t
+(** @raise Invalid_argument on invalid instances. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,56 @@
+(** Synthetic workload families (deterministic in [seed]).
+
+    They cover the regimes the paper's introduction motivates — server
+    farms, interactive multi-core mixes, periodic media decoding — plus
+    the adversarial nested family behind the AVR lower bound.  With
+    [~integral:true] (default) all release/deadline times are integral,
+    satisfying AVR(m)'s precondition. *)
+
+val integralize : Ss_model.Job.t list -> Ss_model.Job.t list
+
+val uniform :
+  ?integral:bool ->
+  seed:int -> machines:int -> jobs:int -> horizon:float -> max_work:float -> unit ->
+  Ss_model.Job.instance
+
+val poisson :
+  ?integral:bool ->
+  seed:int -> machines:int -> jobs:int -> rate:float -> mean_work:float -> slack:float ->
+  unit -> Ss_model.Job.instance
+(** Poisson arrivals, exponential works, deadline = release + slack·work. *)
+
+val bursty :
+  ?integral:bool ->
+  seed:int -> machines:int -> bursts:int -> jobs_per_burst:int -> gap:float ->
+  max_work:float -> unit -> Ss_model.Job.instance
+
+val heavy_tailed :
+  ?integral:bool ->
+  seed:int -> machines:int -> jobs:int -> horizon:float -> shape:float -> unit ->
+  Ss_model.Job.instance
+(** Pareto([shape]) works. *)
+
+val staircase : machines:int -> levels:int -> copies:int -> unit -> Ss_model.Job.instance
+(** Nested equal-density windows sharing one deadline (AVR adversary;
+    always integral). *)
+
+val long_short :
+  ?integral:bool ->
+  seed:int -> machines:int -> long_jobs:int -> short_jobs:int -> horizon:float -> unit ->
+  Ss_model.Job.instance
+
+val video :
+  ?integral:bool ->
+  seed:int -> machines:int -> frames:int -> period:float -> base_work:float -> unit ->
+  Ss_model.Job.instance
+(** Periodic frames with an I/P/B-style work pattern. *)
+
+val diurnal :
+  ?integral:bool ->
+  seed:int -> machines:int -> jobs:int -> days:int -> day_length:float ->
+  mean_work:float -> slack:float -> unit -> Ss_model.Job.instance
+(** Sinusoidal day/night arrival intensity with lognormal works — the most
+    trace-like family. *)
+
+val with_load_factor : float -> Ss_model.Job.instance -> Ss_model.Job.instance
+(** Rescale works so that [Job.load_factor] hits the target. *)

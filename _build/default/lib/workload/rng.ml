@@ -1,0 +1,66 @@
+(* Deterministic pseudo-random numbers (SplitMix64).
+
+   Every experiment in the repository derives its workloads from explicit
+   seeds through this module, so any table in EXPERIMENTS.md can be
+   regenerated bit-for-bit.  (OCaml's stdlib Random would also be
+   deterministic under a fixed seed, but its algorithm is not stable
+   across compiler versions; SplitMix64 is ours and frozen.) *)
+
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+
+let next_int64 t =
+  let z = Int64.add t.state 0x9E3779B97F4A7C15L in
+  t.state <- z;
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Uniform in [0, 1): use the top 53 bits. *)
+let float t =
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits *. (1. /. 9007199254740992.)
+
+let uniform t ~lo ~hi =
+  if hi < lo then invalid_arg "Rng.uniform: hi < lo";
+  lo +. ((hi -. lo) *. float t)
+
+let int t ~bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound <= 0";
+  (* Keep 62 bits so the native-int conversion stays non-negative. *)
+  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  r mod bound
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let exponential t ~mean =
+  if mean <= 0. then invalid_arg "Rng.exponential: mean <= 0";
+  let u = float t in
+  -.mean *. Float.log (1. -. u)
+
+(* Standard normal via Box-Muller (fresh pair each call; no caching so the
+   stream stays reproducible under splitting). *)
+let normal t ~mean ~stddev =
+  if stddev < 0. then invalid_arg "Rng.normal: negative stddev";
+  let u1 = Float.max 1e-300 (float t) in
+  let u2 = float t in
+  let z = Float.sqrt (-2. *. Float.log u1) *. Float.cos (2. *. Float.pi *. u2) in
+  mean +. (stddev *. z)
+
+let lognormal t ~mu ~sigma = Float.exp (normal t ~mean:mu ~stddev:sigma)
+
+(* Pareto with scale [xm] and shape [shape] (heavy tails for shape <= 2). *)
+let pareto t ~xm ~shape =
+  if xm <= 0. || shape <= 0. then invalid_arg "Rng.pareto: non-positive parameter";
+  let u = float t in
+  xm /. ((1. -. u) ** (1. /. shape))
+
+let choice t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.choice: empty";
+  arr.(int t ~bound:(Array.length arr))
+
+(* Derive an independent stream (e.g. one per experiment repetition). *)
+let split t =
+  let seed = next_int64 t in
+  { state = Int64.logxor seed 0xA5A5A5A5A5A5A5A5L }

@@ -1,0 +1,22 @@
+(** Deterministic SplitMix64 pseudo-random stream; all workloads derive
+    from explicit seeds so every experiment is reproducible. *)
+
+type t
+
+val create : seed:int -> t
+val next_int64 : t -> int64
+
+val float : t -> float
+(** Uniform in [[0, 1)). *)
+
+val uniform : t -> lo:float -> hi:float -> float
+val int : t -> bound:int -> int
+val bool : t -> bool
+val exponential : t -> mean:float -> float
+val normal : t -> mean:float -> stddev:float -> float
+val lognormal : t -> mu:float -> sigma:float -> float
+val pareto : t -> xm:float -> shape:float -> float
+val choice : t -> 'a array -> 'a
+
+val split : t -> t
+(** An independent derived stream. *)

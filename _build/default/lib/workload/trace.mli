@@ -1,0 +1,10 @@
+(** Plain-text job traces (bit-exact round-trips via hex floats). *)
+
+exception Parse_error of int * string
+(** Line number and description. *)
+
+val to_string : Ss_model.Job.instance -> string
+val of_string : string -> Ss_model.Job.instance
+
+val save : string -> Ss_model.Job.instance -> unit
+val load : string -> Ss_model.Job.instance

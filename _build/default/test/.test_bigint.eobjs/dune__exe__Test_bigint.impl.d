@@ -1,0 +1,1 @@
+test/test_bigint.ml: Alcotest List Printf QCheck QCheck_alcotest Ss_numeric

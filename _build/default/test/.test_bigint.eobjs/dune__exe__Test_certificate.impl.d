@@ -1,0 +1,1 @@
+test/test_certificate.ml: Alcotest Format List QCheck QCheck_alcotest Ss_core Ss_model Ss_workload String

@@ -1,0 +1,1 @@
+test/test_convex.ml: Alcotest Array Float List Printf QCheck QCheck_alcotest Ss_convex Ss_model Ss_numeric Ss_workload

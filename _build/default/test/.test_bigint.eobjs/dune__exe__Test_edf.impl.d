@@ -1,0 +1,1 @@
+test/test_edf.ml: Alcotest Array Float List QCheck QCheck_alcotest Ss_core Ss_model Ss_numeric Ss_online Ss_workload

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest List Ss_experiments Ss_numeric String

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Filename Float Fun List Printf QCheck QCheck_alcotest Ss_core Ss_model Ss_online Ss_workload String Sys

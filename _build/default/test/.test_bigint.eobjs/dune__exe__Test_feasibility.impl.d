@@ -1,0 +1,1 @@
+test/test_feasibility.ml: Alcotest Array List Printf QCheck QCheck_alcotest Ss_core Ss_model Ss_workload

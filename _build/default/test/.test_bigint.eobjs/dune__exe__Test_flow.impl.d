@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Array Float List QCheck QCheck_alcotest Ss_flow Ss_lp Ss_numeric Ss_workload

@@ -1,0 +1,1 @@
+test/test_golden.ml: Alcotest Array Float List Ss_core Ss_model Ss_numeric Ss_online Ss_workload

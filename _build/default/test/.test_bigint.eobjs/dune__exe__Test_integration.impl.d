@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Float List Printf Ss_convex Ss_core Ss_model Ss_numeric Ss_online Ss_workload

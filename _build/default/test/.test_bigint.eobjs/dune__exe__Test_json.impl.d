@@ -1,0 +1,1 @@
+test/test_json.ml: Alcotest Char Float List Option Printf QCheck QCheck_alcotest Ss_core Ss_model Ss_numeric Ss_workload String

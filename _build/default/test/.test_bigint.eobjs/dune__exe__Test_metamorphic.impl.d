@@ -1,0 +1,1 @@
+test/test_metamorphic.ml: Alcotest Array Float List QCheck QCheck_alcotest Ss_core Ss_model Ss_online Ss_workload

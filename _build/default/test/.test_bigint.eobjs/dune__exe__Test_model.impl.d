@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Array Float List QCheck QCheck_alcotest Ss_model Ss_numeric Ss_workload

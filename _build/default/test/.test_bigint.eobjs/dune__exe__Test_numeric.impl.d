@@ -1,0 +1,1 @@
+test/test_numeric.ml: Alcotest Array Float Int List QCheck QCheck_alcotest Ss_numeric String

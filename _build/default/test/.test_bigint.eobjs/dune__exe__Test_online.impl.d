@@ -1,0 +1,1 @@
+test/test_online.ml: Alcotest Array Float Fun List Printf QCheck QCheck_alcotest Ss_core Ss_model Ss_numeric Ss_online Ss_workload

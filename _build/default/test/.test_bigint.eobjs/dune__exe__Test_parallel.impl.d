@@ -1,0 +1,1 @@
+test/test_parallel.ml: Alcotest Array Fun List Printexc Printf QCheck QCheck_alcotest Ss_core Ss_model Ss_parallel Ss_workload

@@ -1,0 +1,1 @@
+test/test_rational.ml: Alcotest Float List QCheck QCheck_alcotest Ss_numeric

@@ -1,0 +1,1 @@
+test/test_stress.ml: Alcotest Float List Ss_core Ss_model Ss_online Ss_workload

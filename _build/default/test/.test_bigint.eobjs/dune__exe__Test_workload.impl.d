@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Filename Float Fun List Printf QCheck QCheck_alcotest Ss_model Ss_numeric Ss_workload String Sys

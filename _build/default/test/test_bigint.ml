@@ -1,0 +1,189 @@
+(* Unit and property tests for the arbitrary-precision integers. *)
+
+module B = Ss_numeric.Bigint
+
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+
+let to_int b =
+  match B.to_int_opt b with
+  | Some v -> v
+  | None -> Alcotest.fail "expected native-int result"
+
+(* --- unit tests ------------------------------------------------------- *)
+
+let test_of_to_int () =
+  List.iter
+    (fun n -> check_int (Printf.sprintf "roundtrip %d" n) n (to_int (B.of_int n)))
+    [ 0; 1; -1; 42; -42; 1 lsl 20; (1 lsl 20) - 1; (1 lsl 40) + 12345; max_int; min_int + 1 ]
+
+let test_min_int () =
+  check_str "min_int magnitude" (string_of_int min_int) (B.to_string (B.of_int min_int))
+
+let test_add_sub () =
+  let a = B.of_int 123_456_789 and b = B.of_int 987_654_321 in
+  check_int "add" (123_456_789 + 987_654_321) (to_int (B.add a b));
+  check_int "sub" (123_456_789 - 987_654_321) (to_int (B.sub a b));
+  check_int "sub to zero" 0 (to_int (B.sub a a));
+  check_bool "is_zero" true (B.is_zero (B.sub b b))
+
+let test_mul_large () =
+  (* (2^62 - 1)^2 via strings. *)
+  let a = B.sub (B.pow2 62) B.one in
+  let sq = B.mul a a in
+  (* (2^62-1)^2 = 2^124 - 2^63 + 1 *)
+  let expect = B.add (B.sub (B.pow2 124) (B.pow2 63)) B.one in
+  check_bool "large square" true (B.equal sq expect)
+
+let test_divmod () =
+  List.iter
+    (fun (a, b) ->
+      let q, r = B.divmod (B.of_int a) (B.of_int b) in
+      check_int (Printf.sprintf "%d / %d" a b) (a / b) (to_int q);
+      check_int (Printf.sprintf "%d mod %d" a b) (a mod b) (to_int r))
+    [ (17, 5); (-17, 5); (17, -5); (-17, -5); (0, 3); (1 lsl 50, 977); (12345678901234, 3) ]
+
+let test_divmod_large_divisor () =
+  (* Exercise the bit-wise long-division path (divisor > 2 limbs). *)
+  let big = B.of_string "123456789012345678901234567890" in
+  let div = B.of_string "9876543210987654321" in
+  let q, r = B.divmod big div in
+  check_bool "reconstruct" true (B.equal big (B.add (B.mul q div) r));
+  check_bool "remainder bound" true (B.compare r div < 0 && B.sign r >= 0)
+
+let test_division_by_zero () =
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (B.divmod B.one B.zero))
+
+let test_gcd () =
+  let g a b = to_int (B.gcd (B.of_int a) (B.of_int b)) in
+  check_int "gcd 12 18" 6 (g 12 18);
+  check_int "gcd 0 5" 5 (g 0 5);
+  check_int "gcd 5 0" 5 (g 5 0);
+  check_int "gcd neg" 6 (g (-12) 18);
+  check_int "gcd coprime" 1 (g 35 64);
+  check_int "gcd powers of two" 16 (g 48 16)
+
+let test_strings () =
+  List.iter
+    (fun s -> check_str ("roundtrip " ^ s) s (B.to_string (B.of_string s)))
+    [ "0"; "1"; "-1"; "123456789012345678901234567890"; "-999999999999999999999999" ];
+  check_str "leading plus" "17" (B.to_string (B.of_string "+17"))
+
+let test_bad_strings () =
+  List.iter
+    (fun s ->
+      match B.of_string s with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "accepted %S" s)
+    [ ""; "-"; "12x3"; "1.5" ]
+
+let test_shifts () =
+  let a = B.of_int 12345 in
+  check_int "shift round trip" 12345 (to_int (B.shift_right (B.shift_left a 100) 100));
+  check_int "shift_left value" (12345 * 16) (to_int (B.shift_left a 4));
+  check_int "shift_right floor" (12345 / 8) (to_int (B.shift_right a 3));
+  check_int "shift to zero" 0 (to_int (B.shift_right a 40))
+
+let test_nbits () =
+  check_int "nbits 0" 0 (B.nbits B.zero);
+  check_int "nbits 1" 1 (B.nbits B.one);
+  check_int "nbits 255" 8 (B.nbits (B.of_int 255));
+  check_int "nbits 256" 9 (B.nbits (B.of_int 256));
+  check_int "nbits 2^100" 101 (B.nbits (B.pow2 100))
+
+let test_compare () =
+  let values = [ -100; -1; 0; 1; 7; 100; 1 lsl 45 ] in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          check_int
+            (Printf.sprintf "compare %d %d" a b)
+            (compare a b)
+            (B.compare (B.of_int a) (B.of_int b)))
+        values)
+    values
+
+let test_to_float () =
+  Alcotest.(check (float 1e-9)) "to_float small" 12345. (B.to_float (B.of_int 12345));
+  Alcotest.(check (float 1e6)) "to_float 2^80" (2. ** 80.) (B.to_float (B.pow2 80))
+
+(* --- property tests ---------------------------------------------------- *)
+
+let arb_pair = QCheck.(pair (int_range (-1_000_000_000) 1_000_000_000)
+                         (int_range (-1_000_000_000) 1_000_000_000))
+
+let prop_add_matches =
+  QCheck.Test.make ~count:500 ~name:"add matches native" arb_pair (fun (a, b) ->
+      to_int (B.add (B.of_int a) (B.of_int b)) = a + b)
+
+let prop_mul_matches =
+  QCheck.Test.make ~count:500 ~name:"mul matches native" arb_pair (fun (a, b) ->
+      to_int (B.mul (B.of_int a) (B.of_int b)) = a * b)
+
+let prop_divmod_identity =
+  QCheck.Test.make ~count:500 ~name:"a = q*b + r, |r| < |b|, sign(r)=sign(a)"
+    QCheck.(pair (int_range (-1_000_000_000) 1_000_000_000) (int_range 1 100_000))
+    (fun (a, b) ->
+      let q, r = B.divmod (B.of_int a) (B.of_int b) in
+      let q = to_int q and r = to_int r in
+      a = (q * b) + r && abs r < b && (r = 0 || (r > 0) = (a > 0)))
+
+let prop_string_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"decimal string roundtrip"
+    QCheck.(triple small_nat small_nat bool)
+    (fun (a, b, neg) ->
+      (* Build a big number from two ints: a * 10^12 + b. *)
+      let v =
+        B.add (B.mul (B.of_int a) (B.of_string "1000000000000")) (B.of_int b)
+      in
+      let v = if neg then B.neg v else v in
+      B.equal v (B.of_string (B.to_string v)))
+
+let prop_gcd_divides =
+  QCheck.Test.make ~count:300 ~name:"gcd divides both"
+    QCheck.(pair (int_range 1 1_000_000_000) (int_range 1 1_000_000_000))
+    (fun (a, b) ->
+      let g = B.gcd (B.of_int a) (B.of_int b) in
+      B.is_zero (B.rem (B.of_int a) g) && B.is_zero (B.rem (B.of_int b) g))
+
+let prop_mul_big_assoc =
+  QCheck.Test.make ~count:200 ~name:"multiplication associativity (big operands)"
+    QCheck.(triple (int_range 1 max_int) (int_range 1 max_int) (int_range 1 1000))
+    (fun (a, b, c) ->
+      let a = B.of_int a and b = B.of_int b and c = B.of_int c in
+      B.equal (B.mul (B.mul a b) c) (B.mul a (B.mul b c)))
+
+let () =
+  Alcotest.run "bigint"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "of/to int" `Quick test_of_to_int;
+          Alcotest.test_case "min_int" `Quick test_min_int;
+          Alcotest.test_case "add/sub" `Quick test_add_sub;
+          Alcotest.test_case "mul large" `Quick test_mul_large;
+          Alcotest.test_case "divmod" `Quick test_divmod;
+          Alcotest.test_case "divmod large divisor" `Quick test_divmod_large_divisor;
+          Alcotest.test_case "division by zero" `Quick test_division_by_zero;
+          Alcotest.test_case "gcd" `Quick test_gcd;
+          Alcotest.test_case "strings" `Quick test_strings;
+          Alcotest.test_case "bad strings" `Quick test_bad_strings;
+          Alcotest.test_case "shifts" `Quick test_shifts;
+          Alcotest.test_case "nbits" `Quick test_nbits;
+          Alcotest.test_case "compare" `Quick test_compare;
+          Alcotest.test_case "to_float" `Quick test_to_float;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_add_matches;
+            prop_mul_matches;
+            prop_divmod_identity;
+            prop_string_roundtrip;
+            prop_gcd_divides;
+            prop_mul_big_assoc;
+          ] );
+    ]

@@ -1,0 +1,118 @@
+(* Tests for the certification bundle and the additional lower bound. *)
+
+module Job = Ss_model.Job
+module Power = Ss_model.Power
+module LB = Ss_core.Lower_bounds
+
+let check_bool = Alcotest.(check bool)
+let j r d w = Job.make ~release:r ~deadline:d ~work:w
+
+let test_certifies_hand_instance () =
+  let inst = Job.instance ~machines:2 [ j 0. 4. 8.; j 0. 2. 6.; j 1. 3. 2. ] in
+  let r = Ss_core.Certificate.certify ~alpha:2. inst in
+  check_bool "certified" true r.certified;
+  Alcotest.(check (float 1e-6)) "energy" 38. r.energy;
+  check_bool "has all checks" true (List.length r.checks >= 5)
+
+let test_certifies_single_machine_with_yds () =
+  let inst =
+    Ss_workload.Generators.uniform ~seed:4 ~machines:1 ~jobs:7 ~horizon:12. ~max_work:4. ()
+  in
+  let r = Ss_core.Certificate.certify ~alpha:3. inst in
+  check_bool "certified" true r.certified;
+  check_bool "includes YDS check" true
+    (List.exists (fun (c : Ss_core.Certificate.check) -> c.name = "matches YDS (m=1)") r.checks)
+
+let test_report_printable () =
+  let inst = Job.instance ~machines:1 [ j 0. 2. 2. ] in
+  let r = Ss_core.Certificate.certify ~alpha:2. inst in
+  let text = Format.asprintf "%a" Ss_core.Certificate.pp r in
+  check_bool "mentions verdict" true
+    (String.length text > 0
+    && (let rec contains i =
+          i + 9 <= String.length text
+          && (String.sub text i 9 = "CERTIFIED" || contains (i + 1))
+        in
+        contains 0))
+
+let test_guard () =
+  let inst = Job.instance ~machines:1 [ j 0. 1. 1. ] in
+  Alcotest.check_raises "alpha" (Invalid_argument "Certificate.certify: alpha <= 1")
+    (fun () -> ignore (Ss_core.Certificate.certify ~alpha:1. inst))
+
+(* --- critical interval lower bound -------------------------------------- *)
+
+let test_critical_interval_exact_on_tight_instance () =
+  (* Everything in one window: the bound is tight (it IS the optimum). *)
+  let inst = Job.instance ~machines:2 (List.init 4 (fun _ -> j 0. 2. 3.)) in
+  let p = Power.alpha 2. in
+  Alcotest.(check (float 1e-9))
+    "tight" (Ss_core.Offline.optimal_energy p inst)
+    (LB.critical_interval_bound p inst)
+
+let test_critical_interval_beats_density_bound_sometimes () =
+  (* Several jobs crammed into one window on one machine: the interval
+     bound sees the crowding, the density bound does not. *)
+  let inst = Job.instance ~machines:1 (List.init 3 (fun _ -> j 0. 1. 1.)) in
+  let p = Power.alpha 2. in
+  check_bool "strictly stronger here" true
+    (LB.critical_interval_bound p inst > LB.density_bound p inst +. 1e-9)
+
+let prop_critical_interval_is_lower_bound =
+  QCheck.Test.make ~count:40 ~name:"critical-interval bound below optimum"
+    QCheck.small_nat
+    (fun seed ->
+      let inst =
+        Ss_workload.Generators.uniform ~seed:(seed + 3) ~machines:3 ~jobs:9 ~horizon:14.
+          ~max_work:4. ()
+      in
+      let p = Power.alpha 2.5 in
+      LB.critical_interval_bound p inst
+      <= Ss_core.Offline.optimal_energy p inst *. (1. +. 1e-9))
+
+let prop_best_bound_dominates =
+  QCheck.Test.make ~count:30 ~name:"best() >= each component and <= OPT"
+    QCheck.small_nat
+    (fun seed ->
+      let inst =
+        Ss_workload.Generators.uniform ~seed:(seed + 61) ~machines:2 ~jobs:8 ~horizon:12.
+          ~max_work:4. ()
+      in
+      let alpha = 2.5 in
+      let p = Power.alpha alpha in
+      let b = LB.best ~alpha inst in
+      b >= LB.density_bound p inst -. 1e-12
+      && b >= LB.critical_interval_bound p inst -. 1e-12
+      && b >= LB.single_processor_bound ~alpha inst -. 1e-12
+      && b <= Ss_core.Offline.optimal_energy p inst *. (1. +. 1e-9))
+
+let prop_random_instances_certify =
+  QCheck.Test.make ~count:10 ~name:"random instances certify end-to-end"
+    QCheck.small_nat
+    (fun seed ->
+      let inst =
+        Ss_workload.Generators.poisson ~seed:(seed + 7) ~machines:3 ~jobs:8 ~rate:1.
+          ~mean_work:2. ~slack:2. ()
+      in
+      (Ss_core.Certificate.certify ~fw_iterations:120 ~alpha:2.5 inst).certified)
+
+let () =
+  Alcotest.run "certificate"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "hand instance" `Quick test_certifies_hand_instance;
+          Alcotest.test_case "single machine" `Quick test_certifies_single_machine_with_yds;
+          Alcotest.test_case "printable" `Quick test_report_printable;
+          Alcotest.test_case "guard" `Quick test_guard;
+          Alcotest.test_case "critical interval tight" `Quick test_critical_interval_exact_on_tight_instance;
+          Alcotest.test_case "critical interval strength" `Quick test_critical_interval_beats_density_bound_sometimes;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_critical_interval_is_lower_bound;
+            prop_best_bound_dominates;
+            prop_random_instances_certify;
+          ] );
+    ]

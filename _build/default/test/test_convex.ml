@@ -1,0 +1,170 @@
+(* Tests for the convex verification substrate: the per-interval
+   water-filling oracle and the Frank-Wolfe solver. *)
+
+module Oracle = Ss_convex.Oracle
+module FW = Ss_convex.Frank_wolfe
+module Job = Ss_model.Job
+module Power = Ss_model.Power
+
+let checkf msg = Alcotest.(check (float 1e-9)) msg
+let check_bool = Alcotest.(check bool)
+let j r d w = Job.make ~release:r ~deadline:d ~work:w
+
+(* --- oracle ------------------------------------------------------------ *)
+
+let test_oracle_slack_capacity () =
+  (* Two jobs, two machines: both stretch over the whole interval. *)
+  let r = Oracle.solve (Power.alpha 2.) ~l:2. ~machines:2 [| 4.; 2. |] in
+  checkf "speed 0" 2. r.speeds.(0);
+  checkf "speed 1" 1. r.speeds.(1);
+  checkf "sigma zero" 0. r.sigma;
+  checkf "energy" ((4. *. 2.) +. (1. *. 2.)) r.energy
+
+let test_oracle_binding_capacity () =
+  (* Three equal jobs on one machine: total time capped at L, equal speeds. *)
+  let r = Oracle.solve (Power.alpha 2.) ~l:1. ~machines:1 [| 1.; 1.; 1. |] in
+  checkf "equal speed" 3. r.speeds.(0);
+  checkf "equal speed 2" 3. r.speeds.(1);
+  let total_time = Ss_numeric.Kahan.sum_array r.times in
+  checkf "time budget binds" 1. total_time;
+  checkf "energy 9" 9. r.energy
+
+let test_oracle_capped_job () =
+  (* One dense job forces speed above the water level. *)
+  let r = Oracle.solve (Power.alpha 2.) ~l:1. ~machines:2 [| 10.; 1.; 1. |] in
+  checkf "dense job at w/L" 10. r.speeds.(0);
+  check_bool "others at water level" true (r.speeds.(1) = r.speeds.(2));
+  check_bool "water level below dense" true (r.speeds.(1) < 10.);
+  let total_time = Ss_numeric.Kahan.sum_array r.times in
+  checkf "budget binds" 2. total_time
+
+let test_oracle_zero_work () =
+  let r = Oracle.solve (Power.alpha 3.) ~l:1. ~machines:1 [| 0.; 2. |] in
+  checkf "zero work zero speed" 0. r.speeds.(0);
+  checkf "zero work zero time" 0. r.times.(0);
+  checkf "other runs" 2. r.speeds.(1)
+
+let test_oracle_idle_power () =
+  (* P with constant term: idle time costs energy. *)
+  let p = Power.poly [ (1., 2.); (1., 0.) ] in
+  let r = Oracle.solve p ~l:1. ~machines:2 [| 1. |] in
+  (* Busy: 1 unit at speed 1 -> P(1)=2; idle: 1 unit at P(0)=1. *)
+  checkf "energy with idle" 3. r.energy
+
+let test_oracle_guards () =
+  Alcotest.check_raises "bad length" (Invalid_argument "Oracle.solve: interval length <= 0")
+    (fun () -> ignore (Oracle.solve (Power.alpha 2.) ~l:0. ~machines:1 [| 1. |]));
+  Alcotest.check_raises "negative work" (Invalid_argument "Oracle.solve: negative work")
+    (fun () -> ignore (Oracle.solve (Power.alpha 2.) ~l:1. ~machines:1 [| -1. |]))
+
+(* Envelope theorem: finite-difference check of the gradient. *)
+let test_oracle_gradient_envelope () =
+  let p = Power.alpha 2.5 in
+  let works = [| 2.; 3.; 1. |] in
+  let r = Oracle.solve p ~l:1.5 ~machines:2 works in
+  let g = Oracle.gradient p r in
+  let h = 1e-6 in
+  Array.iteri
+    (fun k _ ->
+      let bumped = Array.copy works in
+      bumped.(k) <- bumped.(k) +. h;
+      let r' = Oracle.solve p ~l:1.5 ~machines:2 bumped in
+      let fd = (r'.energy -. r.energy) /. h in
+      Alcotest.(check (float 1e-3)) (Printf.sprintf "dE/dw_%d" k) fd g.(k))
+    works
+
+let prop_oracle_respects_constraints =
+  QCheck.Test.make ~count:300 ~name:"oracle times within caps"
+    QCheck.(triple small_nat (int_range 1 6) (int_range 1 8))
+    (fun (seed, machines, njobs) ->
+      let rng = Ss_workload.Rng.create ~seed:(seed + 5) in
+      let l = Ss_workload.Rng.uniform rng ~lo:0.2 ~hi:3. in
+      let works = Array.init njobs (fun _ -> Ss_workload.Rng.uniform rng ~lo:0. ~hi:5.) in
+      let r = Oracle.solve (Power.alpha 3.) ~l ~machines works in
+      Array.for_all (fun t -> t <= l +. 1e-6) r.times
+      && Ss_numeric.Kahan.sum_array r.times <= (float_of_int machines *. l) +. 1e-6
+      && Array.for_all2 (fun t (w, s) -> Float.abs ((t *. s) -. w) <= 1e-6 *. (1. +. w))
+           r.times
+           (Array.map2 (fun w s -> (w, s)) works r.speeds))
+
+(* Oracle optimality: no feasible perturbation improves the energy. *)
+let prop_oracle_local_optimal =
+  QCheck.Test.make ~count:100 ~name:"oracle beats random feasible time vectors"
+    QCheck.(pair small_nat (int_range 2 6))
+    (fun (seed, njobs) ->
+      let rng = Ss_workload.Rng.create ~seed:(seed + 31) in
+      let l = 1. and machines = 2 in
+      let works = Array.init njobs (fun _ -> Ss_workload.Rng.uniform rng ~lo:0.1 ~hi:3.) in
+      let opt = Oracle.solve (Power.alpha 2.) ~l ~machines works in
+      (* Random feasible competitor: random times in (0, l], scaled into the
+         aggregate budget. *)
+      let ts = Array.init njobs (fun _ -> Ss_workload.Rng.uniform rng ~lo:0.05 ~hi:l) in
+      let total = Ss_numeric.Kahan.sum_array ts in
+      let budget = float_of_int machines *. l in
+      let ts = if total > budget then Array.map (fun t -> t *. budget /. total) ts else ts in
+      let energy =
+        Ss_numeric.Kahan.sum_f njobs (fun k ->
+            ts.(k) *. Power.eval (Power.alpha 2.) (works.(k) /. ts.(k)))
+      in
+      energy >= opt.energy -. 1e-6 *. (1. +. opt.energy))
+
+(* --- Frank-Wolfe -------------------------------------------------------- *)
+
+let test_fw_single_job () =
+  (* One job alone: optimum is its density bound, reached immediately. *)
+  let inst = Job.instance ~machines:1 [ j 0. 4. 8. ] in
+  let p = Power.alpha 2. in
+  let rep = FW.solve ~iterations:50 p inst in
+  Alcotest.(check (float 1e-6)) "energy 16" 16. rep.energy;
+  check_bool "band contains optimum" true (rep.lower_bound <= 16. +. 1e-6)
+
+let test_fw_band_contains_known_optimum () =
+  (* Hand-checked instance: optimum 38 (see offline tests). *)
+  let inst =
+    Job.instance ~machines:2 [ j 0. 4. 8.; j 0. 2. 6.; j 1. 3. 2. ]
+  in
+  let rep = FW.solve ~iterations:300 (Power.alpha 2.) inst in
+  check_bool "lb <= 38" true (rep.lower_bound <= 38. +. 1e-6);
+  check_bool "ub >= 38" true (rep.energy >= 38. -. 1e-6);
+  check_bool "band tight" true (rep.energy -. rep.lower_bound <= 0.5)
+
+let test_fw_invalid () =
+  Alcotest.check_raises "invalid instance"
+    (Invalid_argument "Frank_wolfe.solve: invalid instance") (fun () ->
+      ignore (FW.solve (Power.alpha 2.) { Job.jobs = [||]; machines = 1 }))
+
+let prop_fw_band_nonempty =
+  QCheck.Test.make ~count:25 ~name:"FW lower bound <= energy on random instances"
+    QCheck.small_nat
+    (fun seed ->
+      let inst =
+        Ss_workload.Generators.uniform ~seed:(seed + 3) ~machines:2 ~jobs:6 ~horizon:10.
+          ~max_work:4. ()
+      in
+      let rep = FW.solve ~iterations:60 (Power.alpha 2.5) inst in
+      rep.lower_bound <= rep.energy +. 1e-9 && rep.energy > 0.)
+
+let () =
+  Alcotest.run "convex"
+    [
+      ( "oracle",
+        [
+          Alcotest.test_case "slack capacity" `Quick test_oracle_slack_capacity;
+          Alcotest.test_case "binding capacity" `Quick test_oracle_binding_capacity;
+          Alcotest.test_case "capped job" `Quick test_oracle_capped_job;
+          Alcotest.test_case "zero work" `Quick test_oracle_zero_work;
+          Alcotest.test_case "idle power" `Quick test_oracle_idle_power;
+          Alcotest.test_case "guards" `Quick test_oracle_guards;
+          Alcotest.test_case "gradient envelope" `Quick test_oracle_gradient_envelope;
+        ] );
+      ( "frank-wolfe",
+        [
+          Alcotest.test_case "single job" `Quick test_fw_single_job;
+          Alcotest.test_case "band contains optimum" `Quick test_fw_band_contains_known_optimum;
+          Alcotest.test_case "invalid" `Quick test_fw_invalid;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_oracle_respects_constraints; prop_oracle_local_optimal; prop_fw_band_nonempty ]
+      );
+    ]

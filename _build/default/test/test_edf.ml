@@ -1,0 +1,99 @@
+(* Tests for the single-processor EDF executor. *)
+
+module Job = Ss_model.Job
+module Schedule = Ss_model.Schedule
+module Edf = Ss_online.Edf
+
+let check_bool = Alcotest.(check bool)
+let j r d w = Job.make ~release:r ~deadline:d ~work:w
+
+let slices_of (inst : Job.instance) =
+  Array.to_list inst.jobs
+  |> List.concat_map (fun (job : Job.t) -> [ job.release; job.deadline ])
+  |> List.sort_uniq Float.compare
+
+let test_sufficient_speed_finishes_everything () =
+  let inst = Job.instance ~machines:1 [ j 0. 4. 2.; j 1. 3. 1.; j 2. 6. 2. ] in
+  (* Constant speed 2 is ample: total density is well below 2 everywhere. *)
+  let out = Edf.run ~slices:(slices_of inst) ~speed_at:(fun _ -> 2.) inst in
+  Alcotest.(check (list (pair int (float 0.)))) "all finished" [] out.unfinished;
+  check_bool "feasible" true (Schedule.is_feasible inst out.schedule)
+
+let test_edf_ordering () =
+  (* Two jobs available at once: the earlier deadline must run first. *)
+  let inst = Job.instance ~machines:1 [ j 0. 10. 1.; j 0. 2. 1. ] in
+  let out = Edf.run ~slices:[ 0.; 2.; 10. ] ~speed_at:(fun _ -> 1.) inst in
+  (match Array.to_list (Schedule.segments out.schedule) with
+  | first :: _ -> Alcotest.(check int) "tight job first" 1 first.job
+  | [] -> Alcotest.fail "no segments");
+  check_bool "feasible" true (Schedule.is_feasible inst out.schedule)
+
+let test_insufficient_speed_reports_residue () =
+  let inst = Job.instance ~machines:1 [ j 0. 1. 5. ] in
+  let out = Edf.run ~slices:[ 0.; 1. ] ~speed_at:(fun _ -> 1.) inst in
+  (match out.unfinished with
+  | [ (0, residual) ] -> Alcotest.(check (float 1e-9)) "residual 4" 4. residual
+  | _ -> Alcotest.fail "expected one unfinished job")
+
+let test_zero_speed_idles () =
+  let inst = Job.instance ~machines:1 [ j 0. 2. 1. ] in
+  let out = Edf.run ~slices:[ 0.; 2. ] ~speed_at:(fun _ -> 0.) inst in
+  Alcotest.(check int) "no segments" 0 (Schedule.num_segments out.schedule);
+  check_bool "reported unfinished" true (out.unfinished <> [])
+
+let test_multi_machine_rejected () =
+  let inst = Job.instance ~machines:2 [ j 0. 1. 1. ] in
+  Alcotest.check_raises "m=1 only" (Invalid_argument "Edf.run: single-processor executor")
+    (fun () -> ignore (Edf.run ~slices:[ 0.; 1. ] ~speed_at:(fun _ -> 1.) inst))
+
+(* EDF optimality for feasibility: driving EDF with the optimal schedule's
+   own aggregate speed profile must finish everything (on one machine the
+   optimum's profile is feasible, hence EDF-feasible). *)
+let prop_edf_feasible_under_optimal_profile =
+  QCheck.Test.make ~count:30 ~name:"EDF finishes under the YDS-optimal speed profile"
+    QCheck.small_nat
+    (fun seed ->
+      let inst =
+        Ss_workload.Generators.uniform ~seed:(seed + 3) ~machines:1 ~jobs:7 ~horizon:12.
+          ~max_work:4. ()
+      in
+      let opt = Ss_core.Offline.optimal_schedule inst in
+      let slices = Ss_model.Profile.breakpoints opt in
+      let speed_at t = (Schedule.speeds_at opt (t +. 1e-9)).(0) in
+      let out = Edf.run ~slices ~speed_at inst in
+      (* Tiny numerical residues are possible at piece joins; anything
+         above 0.1% of a job's work counts as failure. *)
+      List.for_all (fun (i, res) -> res <= 1e-3 *. inst.jobs.(i).work) out.unfinished)
+
+(* EDF work conservation: it never idles while work is pending and speed
+   is positive; total executed work = total work - residues. *)
+let prop_edf_work_conservation =
+  QCheck.Test.make ~count:30 ~name:"EDF conserves work" QCheck.small_nat (fun seed ->
+      let inst =
+        Ss_workload.Generators.uniform ~seed:(seed + 41) ~machines:1 ~jobs:6 ~horizon:10.
+          ~max_work:3. ()
+      in
+      let out = Edf.run ~slices:(slices_of inst) ~speed_at:(fun _ -> 1.5) inst in
+      let done_ =
+        Ss_numeric.Kahan.sum_array
+          (Schedule.work_by_job ~jobs:(Job.num_jobs inst) out.schedule)
+      in
+      let residues = Ss_numeric.Kahan.sum_list (List.map snd out.unfinished) in
+      Float.abs (done_ +. residues -. Job.total_work inst)
+      <= 1e-6 *. Job.total_work inst)
+
+let () =
+  Alcotest.run "edf"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "sufficient speed" `Quick test_sufficient_speed_finishes_everything;
+          Alcotest.test_case "ordering" `Quick test_edf_ordering;
+          Alcotest.test_case "residue report" `Quick test_insufficient_speed_reports_residue;
+          Alcotest.test_case "zero speed" `Quick test_zero_speed_idles;
+          Alcotest.test_case "multi machine rejected" `Quick test_multi_machine_rejected;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_edf_feasible_under_optimal_profile; prop_edf_work_conservation ] );
+    ]

@@ -1,0 +1,136 @@
+(* Cross-module integration tests: the full pipeline on each workload
+   scenario, energy orderings across all algorithms, and the exact/float
+   certification story end-to-end. *)
+
+module Job = Ss_model.Job
+module Power = Ss_model.Power
+module Schedule = Ss_model.Schedule
+module Offline = Ss_core.Offline
+module G = Ss_workload.Generators
+
+let check_bool = Alcotest.(check bool)
+
+let scenarios =
+  [
+    ("uniform", G.uniform ~seed:101 ~machines:3 ~jobs:14 ~horizon:24. ~max_work:6. ());
+    ("poisson", G.poisson ~seed:102 ~machines:4 ~jobs:16 ~rate:1.2 ~mean_work:3. ~slack:2.5 ());
+    ("bursty", G.bursty ~seed:103 ~machines:2 ~bursts:4 ~jobs_per_burst:3 ~gap:6. ~max_work:4. ());
+    ("staircase", G.staircase ~machines:2 ~levels:5 ~copies:2 ());
+    ("video", G.video ~seed:104 ~machines:2 ~frames:16 ~period:2. ~base_work:3. ());
+    ("long_short", G.long_short ~seed:105 ~machines:3 ~long_jobs:3 ~short_jobs:9 ~horizon:20. ());
+  ]
+
+(* Pipeline: every algorithm produces a feasible schedule and respects the
+   theory's energy ordering: OPT <= each online/heuristic <= its bound. *)
+let test_pipeline name inst () =
+  let alpha = 2.5 in
+  let p = Power.alpha alpha in
+  let opt_sched, _ = Offline.solve inst in
+  check_bool (name ^ ": opt feasible") true (Schedule.is_feasible inst opt_sched);
+  let e_opt = Schedule.energy p opt_sched in
+  check_bool (name ^ ": positive energy") true (e_opt > 0.);
+  (* Lower bounds hold. *)
+  check_bool (name ^ ": density lb") true
+    (Ss_core.Lower_bounds.density_bound p inst <= e_opt *. (1. +. 1e-9));
+  check_bool (name ^ ": m^1-a lb") true
+    (Ss_core.Lower_bounds.single_processor_bound ~alpha inst <= e_opt *. (1. +. 1e-9));
+  (* Online algorithms: feasible and inside their competitive bounds. *)
+  let oa = Ss_online.Oa.schedule inst in
+  check_bool (name ^ ": oa feasible") true (Schedule.is_feasible inst oa);
+  let r_oa = Schedule.energy p oa /. e_opt in
+  check_bool (name ^ ": oa ratio in [1, a^a]") true
+    (r_oa >= 1. -. 1e-6 && r_oa <= Ss_online.Oa.competitive_bound ~alpha +. 1e-6);
+  let avr = Ss_online.Avr.schedule inst in
+  check_bool (name ^ ": avr feasible") true (Schedule.is_feasible inst avr);
+  let r_avr = Schedule.energy p avr /. e_opt in
+  check_bool (name ^ ": avr ratio in [1, bound]") true
+    (r_avr >= 1. -. 1e-6 && r_avr <= Ss_online.Avr.competitive_bound ~alpha +. 1e-6);
+  (* Non-migratory heuristics cannot beat the migratory optimum. *)
+  List.iter
+    (fun strat ->
+      let s = Ss_online.Nonmigratory.solve strat inst in
+      check_bool
+        (Printf.sprintf "%s: %s feasible" name (Ss_online.Nonmigratory.strategy_name strat))
+        true (Schedule.is_feasible inst s);
+      check_bool
+        (Printf.sprintf "%s: %s >= OPT" name (Ss_online.Nonmigratory.strategy_name strat))
+        true
+        (Schedule.energy p s >= e_opt *. (1. -. 1e-6)))
+    [ Ss_online.Nonmigratory.Round_robin; Least_work ]
+
+(* Certification: float run and exact-rational replay agree on partition
+   structure and speeds; the FW band pins the float energy. *)
+let test_certification () =
+  let inst = G.uniform ~seed:999 ~machines:2 ~jobs:8 ~horizon:12. ~max_work:4. () in
+  let p = Power.alpha 2. in
+  let run = Offline.run inst in
+  let exact = Offline.solve_exact inst in
+  Alcotest.(check int) "phase count"
+    (List.length run.schedule_phases)
+    (List.length exact.schedule_phases);
+  List.iter2
+    (fun (a : Offline.F.phase) (b : Offline.Exact.phase) ->
+      Alcotest.(check (float 1e-9)) "speed agreement"
+        (Ss_numeric.Rational.to_float b.speed)
+        a.speed)
+    run.schedule_phases exact.schedule_phases;
+  let e = Offline.energy_of_run p run in
+  let fw = Ss_convex.Frank_wolfe.solve ~iterations:200 p inst in
+  check_bool "inside FW band" true
+    (e <= fw.energy +. (1e-3 *. fw.energy) && e >= fw.lower_bound -. (1e-3 *. fw.energy))
+
+(* Trace round-trip composed with scheduling: saving and reloading an
+   instance must not change the computed optimum. *)
+let test_trace_then_schedule () =
+  let inst = G.poisson ~seed:55 ~machines:2 ~jobs:10 ~rate:1. ~mean_work:2. ~slack:2. () in
+  let p = Power.alpha 3. in
+  let e1 = Offline.optimal_energy p inst in
+  let inst' = Ss_workload.Trace.of_string (Ss_workload.Trace.to_string inst) in
+  let e2 = Offline.optimal_energy p inst' in
+  Alcotest.(check (float 1e-12)) "same optimum" e1 e2
+
+(* The offline schedule under a non-s^alpha convex power function is still
+   inside the FW band for that function (optimality for general P). *)
+let test_general_power_pipeline () =
+  let inst = G.uniform ~seed:77 ~machines:2 ~jobs:7 ~horizon:10. ~max_work:4. () in
+  let sched = Offline.optimal_schedule inst in
+  let p = Power.poly [ (1., 3.); (2., 1.) ] in
+  let e = Schedule.energy p sched in
+  let fw = Ss_convex.Frank_wolfe.solve ~iterations:200 p inst in
+  check_bool "general P optimal" true
+    (e <= fw.energy +. (5e-3 *. fw.energy) && e >= fw.lower_bound -. (5e-3 *. fw.energy))
+
+(* Migration only helps: on at least one of the standard scenarios the
+   migratory optimum is strictly cheaper than every non-migratory
+   heuristic (quantified benefit). *)
+let test_migration_strictly_helps_somewhere () =
+  let p = Power.alpha 3. in
+  let found = ref false in
+  List.iter
+    (fun (_, inst) ->
+      let e_opt = Offline.optimal_energy p inst in
+      let best_nonmig =
+        List.fold_left
+          (fun acc strat -> Float.min acc (Ss_online.Nonmigratory.energy strat p inst))
+          infinity
+          [ Ss_online.Nonmigratory.Round_robin; Least_work; Random 1; Random 2 ]
+      in
+      if best_nonmig > e_opt *. 1.02 then found := true)
+    scenarios;
+  check_bool "strict migration benefit observed" true !found
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "pipeline",
+        List.map
+          (fun (name, inst) -> Alcotest.test_case name `Slow (test_pipeline name inst))
+          scenarios );
+      ( "certification",
+        [
+          Alcotest.test_case "float vs exact vs FW" `Quick test_certification;
+          Alcotest.test_case "trace then schedule" `Quick test_trace_then_schedule;
+          Alcotest.test_case "general power" `Quick test_general_power_pipeline;
+          Alcotest.test_case "migration helps" `Slow test_migration_strictly_helps_somewhere;
+        ] );
+    ]

@@ -1,0 +1,139 @@
+(* Tests for the JSON substrate and the instance/schedule export layer. *)
+
+module Json = Ss_numeric.Json
+module Job = Ss_model.Job
+module Schedule = Ss_model.Schedule
+module Export = Ss_model.Export
+
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+(* --- json core ----------------------------------------------------------- *)
+
+let test_print_basics () =
+  check_str "null" "null" (Json.to_string Json.Null);
+  check_str "true" "true" (Json.to_string (Json.Bool true));
+  check_str "int-like" "42" (Json.to_string (Json.Num 42.));
+  check_str "float" "2.5" (Json.to_string (Json.Num 2.5));
+  check_str "string" "\"hi\"" (Json.to_string (Json.Str "hi"));
+  check_str "escape" "\"a\\\"b\\nc\"" (Json.to_string (Json.Str "a\"b\nc"));
+  check_str "array" "[1,2]" (Json.to_string (Json.Arr [ Json.Num 1.; Json.Num 2. ]));
+  check_str "object" "{\"k\":null}" (Json.to_string (Json.Obj [ ("k", Json.Null) ]))
+
+let test_parse_basics () =
+  check_bool "null" true (Json.of_string "null" = Json.Null);
+  check_bool "bools" true (Json.of_string " true " = Json.Bool true);
+  check_bool "num" true (Json.of_string "-2.5e2" = Json.Num (-250.));
+  check_bool "string escapes" true (Json.of_string "\"a\\n\\t\\\\\"" = Json.Str "a\n\t\\");
+  check_bool "nested" true
+    (Json.of_string "{\"a\":[1,{\"b\":false}],\"c\":\"x\"}"
+    = Json.Obj
+        [
+          ("a", Json.Arr [ Json.Num 1.; Json.Obj [ ("b", Json.Bool false) ] ]);
+          ("c", Json.Str "x");
+        ]);
+  check_bool "empty containers" true
+    (Json.of_string "[]" = Json.Arr [] && Json.of_string "{}" = Json.Obj [])
+
+let test_parse_errors () =
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | exception Json.Parse_error _ -> ()
+      | _ -> Alcotest.failf "accepted %S" s)
+    [ ""; "{"; "[1,"; "\"unterminated"; "tru"; "{\"a\" 1}"; "1 2"; "{'a':1}" ]
+
+let test_non_finite_rejected () =
+  Alcotest.check_raises "nan" (Invalid_argument "Json: non-finite number") (fun () ->
+      ignore (Json.to_string (Json.Num Float.nan)))
+
+let test_accessors () =
+  let v = Json.of_string "{\"x\":3,\"s\":\"a\",\"l\":[1]}" in
+  Alcotest.(check (option (float 0.))) "member num" (Some 3.)
+    (Option.bind (Json.member "x" v) Json.to_float_opt);
+  Alcotest.(check (option string)) "member str" (Some "a")
+    (Option.bind (Json.member "s" v) Json.to_string_opt);
+  check_bool "member list" true
+    (Option.bind (Json.member "l" v) Json.to_list_opt = Some [ Json.Num 1. ]);
+  check_bool "missing" true (Json.member "nope" v = None)
+
+let prop_roundtrip =
+  (* Random JSON trees round-trip through print + parse. *)
+  let rec gen_value depth rng =
+    let open Ss_workload.Rng in
+    match if depth = 0 then int rng ~bound:4 else int rng ~bound:6 with
+    | 0 -> Json.Null
+    | 1 -> Json.Bool (bool rng)
+    | 2 -> Json.Num (Float.of_int (int rng ~bound:2000) /. 16.)
+    | 3 -> Json.Str (String.init (int rng ~bound:8) (fun _ -> Char.chr (32 + int rng ~bound:90)))
+    | 4 -> Json.Arr (List.init (int rng ~bound:4) (fun _ -> gen_value (depth - 1) rng))
+    | _ ->
+      Json.Obj
+        (List.init (int rng ~bound:4) (fun i ->
+             (Printf.sprintf "k%d" i, gen_value (depth - 1) rng)))
+  in
+  QCheck.Test.make ~count:200 ~name:"print/parse roundtrip" QCheck.small_nat (fun seed ->
+      let rng = Ss_workload.Rng.create ~seed:(seed + 1) in
+      let v = gen_value 3 rng in
+      Json.of_string (Json.to_string v) = v)
+
+(* --- export -------------------------------------------------------------- *)
+
+let test_instance_roundtrip () =
+  let inst =
+    Ss_workload.Generators.poisson ~integral:false ~seed:3 ~machines:3 ~jobs:8 ~rate:1.
+      ~mean_work:2. ~slack:2. ()
+  in
+  check_bool "exact instance roundtrip" true
+    (Export.instance_of_string (Export.instance_to_string inst) = inst)
+
+let test_schedule_roundtrip () =
+  let inst = Ss_workload.Generators.uniform ~seed:5 ~machines:2 ~jobs:6 ~horizon:10. ~max_work:3. () in
+  let sched = Ss_core.Offline.optimal_schedule inst in
+  let back = Export.schedule_of_string (Export.schedule_to_string sched) in
+  check_bool "machines" true (Schedule.machines back = Schedule.machines sched);
+  check_bool "segments equal" true (Schedule.segments back = Schedule.segments sched)
+
+let test_export_errors () =
+  List.iter
+    (fun s ->
+      match Export.instance_of_string s with
+      | exception Export.Format_error _ -> ()
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "accepted %S" s)
+    [ "{}"; "{\"machines\":2}"; "not json"; "{\"machines\":0,\"jobs\":[]}" ]
+
+let prop_schedule_export_roundtrip =
+  QCheck.Test.make ~count:20 ~name:"schedule export roundtrip preserves energy"
+    QCheck.small_nat
+    (fun seed ->
+      let inst =
+        Ss_workload.Generators.uniform ~seed:(seed + 9) ~machines:2 ~jobs:6 ~horizon:10.
+          ~max_work:3. ()
+      in
+      let sched = Ss_core.Offline.optimal_schedule inst in
+      let back = Export.schedule_of_string (Export.schedule_to_string sched) in
+      let p = Ss_model.Power.alpha 2.5 in
+      Float.abs (Schedule.energy p sched -. Schedule.energy p back)
+      <= 1e-12 *. (1. +. Schedule.energy p sched))
+
+let () =
+  Alcotest.run "json"
+    [
+      ( "core",
+        [
+          Alcotest.test_case "print" `Quick test_print_basics;
+          Alcotest.test_case "parse" `Quick test_parse_basics;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "non-finite" `Quick test_non_finite_rejected;
+          Alcotest.test_case "accessors" `Quick test_accessors;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "instance roundtrip" `Quick test_instance_roundtrip;
+          Alcotest.test_case "schedule roundtrip" `Quick test_schedule_roundtrip;
+          Alcotest.test_case "errors" `Quick test_export_errors;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_roundtrip; prop_schedule_export_roundtrip ] );
+    ]

@@ -1,0 +1,126 @@
+(* Metamorphic tests: known exact transformations of the input must
+   transform every algorithm's output in the predicted way.  These catch
+   whole classes of bookkeeping bugs (off-by-one grid handling, absolute
+   vs relative time confusion, machine-indexing asymmetries) that
+   point-wise unit tests miss. *)
+
+module Job = Ss_model.Job
+module Power = Ss_model.Power
+module G = Ss_workload.Generators
+
+let alpha = 2.5
+let p = Power.alpha alpha
+
+let base seed =
+  G.uniform ~seed:(seed + 11) ~machines:3 ~jobs:8 ~horizon:12. ~max_work:4. ()
+
+let transform f (inst : Job.instance) = { inst with Job.jobs = Array.map f inst.jobs }
+
+let relclose a b = Float.abs (a -. b) <= 1e-6 *. (1. +. Float.abs a)
+
+(* Time translation: energies are invariant under shifting all jobs. *)
+let prop_shift_invariance_oa_avr_opt =
+  QCheck.Test.make ~count:25 ~name:"time shift leaves OPT/OA/AVR energies unchanged"
+    QCheck.small_nat
+    (fun seed ->
+      let inst = base seed in
+      let shifted = transform (Job.shift_time 7.) inst in
+      relclose (Ss_core.Offline.optimal_energy p inst) (Ss_core.Offline.optimal_energy p shifted)
+      && relclose (Ss_online.Oa.energy p inst) (Ss_online.Oa.energy p shifted)
+      && relclose (Ss_online.Avr.energy p inst) (Ss_online.Avr.energy p shifted))
+
+(* Work scaling: E(c w) = c^alpha E(w) for every algorithm. *)
+let prop_work_scaling_equivariance =
+  QCheck.Test.make ~count:20 ~name:"work scaling multiplies every energy by c^alpha"
+    QCheck.small_nat
+    (fun seed ->
+      let inst = base seed in
+      let c = 3. in
+      let scaled = transform (Job.scale_work c) inst in
+      let factor = c ** alpha in
+      List.for_all
+        (fun f -> relclose (factor *. f inst) (f scaled))
+        [
+          Ss_core.Offline.optimal_energy p;
+          Ss_online.Oa.energy p;
+          Ss_online.Avr.energy p;
+          (fun i -> Ss_core.Yds.energy p (Ss_core.Yds.solve i));
+        ])
+
+(* Time dilation: stretching time by c scales energy by c^(1-alpha) for
+   OPT (work unchanged, speeds divided by c).  AVR is excluded: dilation
+   changes the unit-interval discretization it works on. *)
+let prop_time_dilation_equivariance =
+  QCheck.Test.make ~count:20 ~name:"time dilation scales OPT energy by c^(1-alpha)"
+    QCheck.small_nat
+    (fun seed ->
+      let inst = base seed in
+      let c = 2. in
+      let dilated = transform (Job.scale_time c) inst in
+      let factor = c ** (1. -. alpha) in
+      relclose (factor *. Ss_core.Offline.optimal_energy p inst)
+        (Ss_core.Offline.optimal_energy p dilated)
+      && relclose (factor *. Ss_online.Oa.energy p inst) (Ss_online.Oa.energy p dilated))
+
+(* Job duplication on doubled machines: m copies of everything on 2m
+   machines is two disjoint copies of the original system. *)
+let prop_self_similarity =
+  QCheck.Test.make ~count:15 ~name:"doubling jobs and machines doubles the optimum"
+    QCheck.small_nat
+    (fun seed ->
+      let inst = base seed in
+      let doubled =
+        {
+          Job.jobs = Array.append inst.Job.jobs inst.Job.jobs;
+          machines = 2 * inst.Job.machines;
+        }
+      in
+      relclose
+        (2. *. Ss_core.Offline.optimal_energy p inst)
+        (Ss_core.Offline.optimal_energy p doubled))
+
+(* Tightening every deadline to the release-to-deadline midpoint doubles
+   each job's minimum density contribution; energies must not decrease. *)
+let prop_tightening_never_helps =
+  QCheck.Test.make ~count:20 ~name:"halving windows never decreases the optimum"
+    QCheck.small_nat
+    (fun seed ->
+      let inst = base seed in
+      let tightened =
+        transform
+          (fun (j : Job.t) -> { j with Job.deadline = j.release +. (Job.span j /. 2.) })
+          inst
+      in
+      Ss_core.Offline.optimal_energy p tightened
+      >= Ss_core.Offline.optimal_energy p inst *. (1. -. 1e-9))
+
+(* Feasibility checker equivariance: shifting a schedule alongside its
+   instance preserves feasibility. *)
+let prop_checker_shift_equivariance =
+  QCheck.Test.make ~count:20 ~name:"feasibility is shift-equivariant" QCheck.small_nat
+    (fun seed ->
+      let inst = base seed in
+      let sched = Ss_core.Offline.optimal_schedule inst in
+      let shifted_inst = transform (Job.shift_time 5.) inst in
+      let shifted_sched =
+        Ss_model.Schedule.make ~machines:inst.Job.machines
+          (Array.to_list (Ss_model.Schedule.segments sched)
+          |> List.map (fun (s : Ss_model.Schedule.segment) ->
+                 { s with t0 = s.t0 +. 5.; t1 = s.t1 +. 5. }))
+      in
+      Ss_model.Schedule.is_feasible shifted_inst shifted_sched)
+
+let () =
+  Alcotest.run "metamorphic"
+    [
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_shift_invariance_oa_avr_opt;
+            prop_work_scaling_equivariance;
+            prop_time_dilation_equivariance;
+            prop_self_similarity;
+            prop_tightening_never_helps;
+            prop_checker_shift_equivariance;
+          ] );
+    ]

@@ -1,0 +1,332 @@
+(* Model-layer tests: job validation, interval grids, power functions,
+   schedule accounting, the feasibility checker (including failure
+   injection) and the wrap-pack construction. *)
+
+module Job = Ss_model.Job
+module Interval = Ss_model.Interval
+module Power = Ss_model.Power
+module Schedule = Ss_model.Schedule
+
+let checkf msg = Alcotest.(check (float 1e-9)) msg
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let j r d w = Job.make ~release:r ~deadline:d ~work:w
+
+(* --- jobs -------------------------------------------------------------- *)
+
+let test_job_validation () =
+  check_bool "valid" true (Job.is_valid (Job.instance ~machines:2 [ j 0. 1. 1. ]));
+  List.iter
+    (fun (name, mk) ->
+      match mk () with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "%s accepted" name)
+    [
+      ("empty window", fun () -> Job.instance ~machines:1 [ j 2. 2. 1. ]);
+      ("reversed window", fun () -> Job.instance ~machines:1 [ j 3. 1. 1. ]);
+      ("zero work", fun () -> Job.instance ~machines:1 [ j 0. 1. 0. ]);
+      ("no machines", fun () -> Job.instance ~machines:0 [ j 0. 1. 1. ]);
+      ("no jobs", fun () -> Job.instance ~machines:1 []);
+      ("nan", fun () -> Job.instance ~machines:1 [ j Float.nan 1. 1. ]);
+    ]
+
+let test_job_accessors () =
+  let job = j 2. 6. 8. in
+  checkf "density" 2. (Job.density job);
+  checkf "span" 4. (Job.span job);
+  let inst = Job.instance ~machines:2 [ job; j 0. 4. 4. ] in
+  checkf "total work" 12. (Job.total_work inst);
+  let lo, hi = Job.horizon inst in
+  checkf "horizon lo" 0. lo;
+  checkf "horizon hi" 6. hi;
+  checkf "load factor" 1.5 (Job.load_factor inst);
+  check_bool "integral" true (Job.integral_times inst);
+  check_bool "not integral" false
+    (Job.integral_times (Job.instance ~machines:1 [ j 0.5 2. 1. ]))
+
+let test_job_transforms () =
+  let job = j 1. 3. 4. in
+  let scaled = Job.scale_work 2. job in
+  checkf "scale work" 8. scaled.work;
+  let stretched = Job.scale_time 2. job in
+  checkf "stretch release" 2. stretched.release;
+  checkf "stretch deadline" 6. stretched.deadline;
+  let shifted = Job.shift_time 5. job in
+  checkf "shift release" 6. shifted.release
+
+(* --- interval grid ----------------------------------------------------- *)
+
+let test_grid_structure () =
+  let jobs = [| j 0. 4. 1.; j 1. 3. 1.; j 2. 6. 1. |] in
+  let g = Interval.make jobs in
+  (* Breakpoints: 0 1 2 3 4 6. *)
+  check_int "intervals" 5 (Interval.length g);
+  checkf "width I0" 1. (Interval.width g 0);
+  checkf "width last" 2. (Interval.width g 4);
+  Alcotest.(check (list int)) "active I0" [ 0 ] (Interval.active g 0);
+  Alcotest.(check (list int)) "active I1" [ 0; 1 ] (Interval.active g 1);
+  Alcotest.(check (list int)) "active I2" [ 0; 1; 2 ] (Interval.active g 2);
+  Alcotest.(check (list int)) "active I3" [ 0; 2 ] (Interval.active g 3);
+  Alcotest.(check (list int)) "active I4" [ 2 ] (Interval.active g 4);
+  checkf "total width" 6. (Interval.total_width g)
+
+let test_grid_locate () =
+  let g = Interval.make [| j 0. 4. 1.; j 1. 3. 1. |] in
+  Alcotest.(check (option int)) "locate 0.5" (Some 0) (Interval.locate g 0.5);
+  Alcotest.(check (option int)) "locate 1" (Some 1) (Interval.locate g 1.);
+  Alcotest.(check (option int)) "locate 3.9" (Some 2) (Interval.locate g 3.9);
+  Alcotest.(check (option int)) "locate 4 (end)" None (Interval.locate g 4.);
+  Alcotest.(check (option int)) "locate -1" None (Interval.locate g (-1.))
+
+let test_grid_extra_breakpoints () =
+  let g = Interval.make ~extra:[ 2.5 ] [| j 0. 4. 1. |] in
+  check_int "extra splits" 2 (Interval.length g);
+  Alcotest.(check (list int)) "active both halves" [ 0 ] (Interval.active g 1)
+
+(* --- power functions ---------------------------------------------------- *)
+
+let test_power_alpha () =
+  let p = Power.alpha 3. in
+  checkf "eval" 8. (Power.eval p 2.);
+  checkf "deriv" 12. (Power.deriv p 2.);
+  checkf "energy" 16. (Power.energy p ~speed:2. ~duration:2.);
+  checkf "waterfill g" 16. (Power.waterfill_level p 2.);
+  Alcotest.(check (option (float 1e-12))) "exponent" (Some 3.) (Power.exponent p);
+  Alcotest.check_raises "alpha <= 1" (Invalid_argument "Power.alpha: requires alpha > 1")
+    (fun () -> ignore (Power.alpha 1.))
+
+let test_power_poly () =
+  (* s^2 + 3s + 2 (with idle power 2). *)
+  let p = Power.poly [ (1., 2.); (3., 1.); (2., 0.) ] in
+  checkf "eval" 12. (Power.eval p 2.);
+  checkf "deriv" 7. (Power.deriv p 2.);
+  checkf "idle" 2. (Power.eval p 0.);
+  check_bool "plausible convex" true (Power.plausible_convex p);
+  Alcotest.check_raises "bad exponent"
+    (Invalid_argument "Power.poly: exponent in (0,1) breaks convexity") (fun () ->
+      ignore (Power.poly [ (1., 0.5) ]))
+
+let test_power_custom () =
+  let p = Power.custom ~name:"s^2" ~eval:(fun s -> s *. s) ~deriv:(fun s -> 2. *. s) in
+  checkf "eval" 9. (Power.eval p 3.);
+  check_bool "convex" true (Power.plausible_convex p);
+  let bad = Power.custom ~name:"sqrt" ~eval:sqrt ~deriv:(fun s -> 0.5 /. sqrt s) in
+  check_bool "concave rejected" false (Power.plausible_convex bad)
+
+(* --- schedules ---------------------------------------------------------- *)
+
+let seg job proc t0 t1 speed = { Schedule.job; proc; t0; t1; speed }
+
+let two_job_instance = Job.instance ~machines:2 [ j 0. 2. 2.; j 0. 2. 4. ]
+
+let good_schedule () =
+  Schedule.make ~machines:2 [ seg 0 0 0. 2. 1.; seg 1 1 0. 2. 2. ]
+
+let test_schedule_accounting () =
+  let s = good_schedule () in
+  let p = Power.alpha 2. in
+  (* P(1)*2 + P(2)*2 = 2 + 8 at alpha = 2. *)
+  checkf "energy" 10. (Schedule.energy p s);
+  let w = Schedule.work_by_job ~jobs:2 s in
+  checkf "work 0" 2. w.(0);
+  checkf "work 1" 4. w.(1);
+  let busy = Schedule.busy_time_by_proc s in
+  checkf "busy p0" 2. busy.(0);
+  checkf "max speed" 2. (Schedule.max_speed s);
+  let at = Schedule.speeds_at s 1. in
+  checkf "speed at (p0)" 1. at.(0);
+  checkf "speed at (p1)" 2. at.(1);
+  check_int "segments" 2 (Schedule.num_segments s)
+
+let test_schedule_feasible () =
+  check_bool "feasible" true (Schedule.is_feasible two_job_instance (good_schedule ()))
+
+let test_failure_injection () =
+  let expect_error name sched pred =
+    match Schedule.check two_job_instance sched with
+    | [] -> Alcotest.failf "%s accepted" name
+    | errs -> check_bool name true (List.exists pred errs)
+  in
+  (* Too little work. *)
+  expect_error "wrong work"
+    (Schedule.make ~machines:2 [ seg 0 0 0. 1. 1.; seg 1 1 0. 2. 2. ])
+    (function Schedule.Wrong_work { job = 0; _ } -> true | _ -> false);
+  (* Outside window. *)
+  expect_error "outside window"
+    (Schedule.make ~machines:2 [ seg 0 0 2. 4. 1.; seg 1 1 0. 2. 2. ])
+    (function Schedule.Outside_window 0 -> true | _ -> false);
+  (* Processor double-booked. *)
+  expect_error "processor overlap"
+    (Schedule.make ~machines:2 [ seg 0 0 0. 2. 1.; seg 1 0 1. 3. 2. ])
+    (function Schedule.Processor_overlap { proc = 0; _ } -> true | _ -> false);
+  (* Same job on two processors at once. *)
+  expect_error "parallel execution"
+    (Schedule.make ~machines:2 [ seg 0 0 0. 2. 0.5; seg 0 1 0. 2. 0.5; seg 1 0 0. 0.0001 40000. ])
+    (function Schedule.Parallel_execution { job = 0; _ } -> true | _ -> false);
+  (* Unknown job id. *)
+  expect_error "unknown job"
+    (Schedule.make ~machines:2 [ seg 0 0 0. 2. 1.; seg 1 1 0. 2. 2.; seg 7 0 0. 0.001 1. ])
+    (function Schedule.Unknown_job 7 -> true | _ -> false)
+
+let test_schedule_constructor_guards () =
+  List.iter
+    (fun (name, segs) ->
+      match Schedule.make ~machines:2 segs with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "%s accepted" name)
+    [
+      ("bad proc", [ seg 0 5 0. 1. 1. ]);
+      ("empty segment", [ seg 0 0 1. 1. 1. ]);
+      ("negative speed", [ seg 0 0 0. 1. (-1.) ]);
+    ]
+
+let test_migration_and_preemption () =
+  let s =
+    Schedule.make ~machines:2
+      [ seg 0 0 0. 1. 1.; seg 0 1 1. 2. 1.; seg 0 1 3. 4. 1. ]
+  in
+  check_int "migrations" 1 (Schedule.migrations_of_job s 0);
+  check_int "preemptions" 2 (Schedule.preemptions_of_job s 0);
+  check_int "total migrations" 1 (Schedule.total_migrations ~jobs:1 s)
+
+let test_concat () =
+  let a = Schedule.make ~machines:2 [ seg 0 0 0. 1. 2. ] in
+  let b = Schedule.make ~machines:2 [ seg 1 1 1. 2. 2. ] in
+  check_int "concat segments" 2 (Schedule.num_segments (Schedule.concat a b));
+  Alcotest.check_raises "machine mismatch"
+    (Invalid_argument "Schedule.concat: machine count mismatch") (fun () ->
+      ignore (Schedule.concat a (Schedule.empty ~machines:3)))
+
+(* --- wrap_pack ---------------------------------------------------------- *)
+
+let test_wrap_pack_basic () =
+  (* Three jobs of 1.5, 1.0, 0.5 into windows of length 1.5: exactly 2 procs. *)
+  let segs, used =
+    Schedule.wrap_pack ~t0:0. ~t1:1.5 ~proc_offset:0 ~speed:2.
+      [ (0, 1.5); (1, 1.0); (2, 0.5) ]
+  in
+  check_int "uses 2 procs" 2 used;
+  let total = Ss_numeric.Kahan.sum_list (List.map (fun s -> s.Schedule.t1 -. s.t0) segs) in
+  checkf "total time" 3. total;
+  (* Full job first: job 0 occupies processor 0 fully. *)
+  let j0 = List.filter (fun s -> s.Schedule.job = 0) segs in
+  check_int "job 0 single segment" 1 (List.length j0);
+  check_bool "job 0 proc 0" true ((List.hd j0).proc = 0)
+
+let test_wrap_pack_split_no_overlap () =
+  (* A piece wrapping the boundary must not overlap itself in time. *)
+  let segs, used =
+    Schedule.wrap_pack ~t0:10. ~t1:11. ~proc_offset:3 ~speed:1.
+      [ (0, 0.75); (1, 0.75); (2, 0.5) ]
+  in
+  check_int "uses 2" 2 used;
+  let j1 = List.filter (fun s -> s.Schedule.job = 1) segs in
+  check_int "job 1 split" 2 (List.length j1);
+  (match j1 with
+  | [ a; b ] ->
+    check_bool "no time overlap" true (a.t1 <= b.t0 +. 1e-9 || b.t1 <= a.t0 +. 1e-9);
+    check_bool "different procs" true (a.proc <> b.proc)
+  | _ -> Alcotest.fail "expected split");
+  check_bool "offset respected" true
+    (List.for_all (fun s -> s.Schedule.proc >= 3) segs)
+
+let test_wrap_pack_guards () =
+  Alcotest.check_raises "piece too long"
+    (Invalid_argument "Schedule.wrap_pack: piece longer than interval") (fun () ->
+      ignore (Schedule.wrap_pack ~t0:0. ~t1:1. ~proc_offset:0 ~speed:1. [ (0, 1.5) ]));
+  Alcotest.check_raises "empty interval"
+    (Invalid_argument "Schedule.wrap_pack: empty interval") (fun () ->
+      ignore (Schedule.wrap_pack ~t0:1. ~t1:1. ~proc_offset:0 ~speed:1. [ (0, 0.5) ]))
+
+let prop_wrap_pack_conserves_time =
+  QCheck.Test.make ~count:200 ~name:"wrap_pack conserves per-job durations"
+    QCheck.(pair small_nat (int_range 1 8))
+    (fun (seed, njobs) ->
+      let rng = Ss_workload.Rng.create ~seed:(seed + 13) in
+      let len = Ss_workload.Rng.uniform rng ~lo:0.5 ~hi:4. in
+      let entries =
+        List.init njobs (fun i -> (i, Ss_workload.Rng.uniform rng ~lo:0.01 ~hi:len))
+      in
+      let segs, used = Schedule.wrap_pack ~t0:0. ~t1:len ~proc_offset:0 ~speed:1. entries in
+      let total_in = Ss_numeric.Kahan.sum_list (List.map snd entries) in
+      ignore used;
+      (* Per job, durations survive. *)
+      List.for_all
+        (fun (i, dur) ->
+          let got =
+            Ss_numeric.Kahan.sum_list
+              (List.filter_map
+                 (fun s ->
+                   if s.Schedule.job = i then Some (s.Schedule.t1 -. s.t0) else None)
+                 segs)
+          in
+          Float.abs (got -. dur) <= 1e-6 *. (1. +. dur))
+        entries
+      && float_of_int used >= total_in /. len -. 1e-6)
+
+let prop_wrap_pack_no_machine_overlap =
+  QCheck.Test.make ~count:200 ~name:"wrap_pack never double-books a processor"
+    QCheck.(pair small_nat (int_range 1 10))
+    (fun (seed, njobs) ->
+      let rng = Ss_workload.Rng.create ~seed:(seed + 99) in
+      let len = 1. in
+      let entries =
+        List.init njobs (fun i -> (i, Ss_workload.Rng.uniform rng ~lo:0.05 ~hi:1.))
+      in
+      let segs, _ = Schedule.wrap_pack ~t0:0. ~t1:len ~proc_offset:0 ~speed:1. entries in
+      let sorted =
+        List.sort
+          (fun a b ->
+            match compare a.Schedule.proc b.Schedule.proc with
+            | 0 -> Float.compare a.Schedule.t0 b.Schedule.t0
+            | c -> c)
+          segs
+      in
+      let rec ok = function
+        | a :: (b :: _ as rest) ->
+          (a.Schedule.proc <> b.Schedule.proc || a.t1 <= b.t0 +. 1e-9) && ok rest
+        | _ -> true
+      in
+      ok sorted)
+
+let () =
+  Alcotest.run "model"
+    [
+      ( "job",
+        [
+          Alcotest.test_case "validation" `Quick test_job_validation;
+          Alcotest.test_case "accessors" `Quick test_job_accessors;
+          Alcotest.test_case "transforms" `Quick test_job_transforms;
+        ] );
+      ( "interval",
+        [
+          Alcotest.test_case "structure" `Quick test_grid_structure;
+          Alcotest.test_case "locate" `Quick test_grid_locate;
+          Alcotest.test_case "extra breakpoints" `Quick test_grid_extra_breakpoints;
+        ] );
+      ( "power",
+        [
+          Alcotest.test_case "alpha" `Quick test_power_alpha;
+          Alcotest.test_case "poly" `Quick test_power_poly;
+          Alcotest.test_case "custom" `Quick test_power_custom;
+        ] );
+      ( "schedule",
+        [
+          Alcotest.test_case "accounting" `Quick test_schedule_accounting;
+          Alcotest.test_case "feasible" `Quick test_schedule_feasible;
+          Alcotest.test_case "failure injection" `Quick test_failure_injection;
+          Alcotest.test_case "constructor guards" `Quick test_schedule_constructor_guards;
+          Alcotest.test_case "migrations/preemptions" `Quick test_migration_and_preemption;
+          Alcotest.test_case "concat" `Quick test_concat;
+        ] );
+      ( "wrap_pack",
+        [
+          Alcotest.test_case "basic" `Quick test_wrap_pack_basic;
+          Alcotest.test_case "split no overlap" `Quick test_wrap_pack_split_no_overlap;
+          Alcotest.test_case "guards" `Quick test_wrap_pack_guards;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_wrap_pack_conserves_time; prop_wrap_pack_no_machine_overlap ] );
+    ]

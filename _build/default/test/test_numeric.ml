@@ -1,0 +1,196 @@
+(* Tests for Kahan summation, statistics and table rendering. *)
+
+module K = Ss_numeric.Kahan
+module S = Ss_numeric.Stats
+module T = Ss_numeric.Table
+
+let checkf msg = Alcotest.(check (float 1e-12)) msg
+
+let test_kahan_catastrophic () =
+  (* 1 + 1e16 - 1e16 ... naive summation loses the ones. *)
+  let t = K.create () in
+  K.add t 1e16;
+  for _ = 1 to 1000 do
+    K.add t 1.
+  done;
+  K.add t (-1e16);
+  checkf "compensated" 1000. (K.total t)
+
+let test_kahan_sums () =
+  checkf "array" 6. (K.sum_array [| 1.; 2.; 3. |]);
+  checkf "list" 10. (K.sum_list [ 1.; 2.; 3.; 4. ]);
+  checkf "f" 45. (K.sum_f 10 float_of_int);
+  checkf "empty" 0. (K.sum_array [||])
+
+let test_stats_basic () =
+  let a = [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |] in
+  checkf "mean" 5. (S.mean a);
+  Alcotest.(check (float 1e-9)) "stddev" (sqrt (32. /. 7.)) (S.stddev a);
+  checkf "min" 2. (S.minimum a);
+  checkf "max" 9. (S.maximum a);
+  checkf "median" 4.5 (S.median a);
+  checkf "q0" 2. (S.quantile a 0.);
+  checkf "q1" 9. (S.quantile a 1.)
+
+let test_stats_singleton () =
+  let a = [| 3. |] in
+  checkf "mean" 3. (S.mean a);
+  checkf "variance" 0. (S.variance a);
+  checkf "median" 3. (S.median a)
+
+let test_stats_errors () =
+  Alcotest.check_raises "empty mean" (Invalid_argument "Stats.mean: empty") (fun () ->
+      ignore (S.mean [||]));
+  Alcotest.check_raises "bad quantile" (Invalid_argument "Stats.quantile: q outside [0,1]")
+    (fun () -> ignore (S.quantile [| 1. |] 2.))
+
+let test_geomean () =
+  Alcotest.(check (float 1e-9)) "geomean" 4. (S.geomean [| 2.; 8. |]);
+  let s = S.summarize [| -1.; 2. |] in
+  Alcotest.(check bool) "geomean nan on negatives" true (Float.is_nan s.geomean)
+
+let test_loglog_slope () =
+  (* y = x^2 exactly. *)
+  let xs = [| 2.; 4.; 8.; 16. |] in
+  let ys = Array.map (fun x -> x ** 2.) xs in
+  Alcotest.(check (float 1e-9)) "slope 2" 2. (S.loglog_slope xs ys);
+  let ys3 = Array.map (fun x -> 5. *. (x ** 3.) ) xs in
+  Alcotest.(check (float 1e-9)) "slope 3 with constant" 3. (S.loglog_slope xs ys3)
+
+let test_table_render () =
+  let t =
+    T.make ~title:"demo" ~headers:[ "name"; "value" ]
+      [ [ "alpha"; "2.5" ]; [ "long-name-here"; "7" ] ]
+  in
+  let s = T.render t in
+  Alcotest.(check bool) "has title" true (String.length s > 0 && String.sub s 0 4 = "demo");
+  (* All data lines share one width. *)
+  let lines = String.split_on_char '\n' s |> List.filter (fun l -> l <> "") in
+  let widths = List.map String.length lines in
+  let first = List.nth widths 1 in
+  List.iteri
+    (fun i w -> if i >= 1 then Alcotest.(check int) "aligned" first w)
+    widths
+
+let test_table_mismatch () =
+  Alcotest.check_raises "row width" (Invalid_argument "Table.make: row width mismatch")
+    (fun () -> ignore (T.make ~title:"" ~headers:[ "a"; "b" ] [ [ "1" ] ]))
+
+let test_cells () =
+  Alcotest.(check string) "cell_f" "3.142" (T.cell_f ~digits:4 3.14159);
+  Alcotest.(check string) "cell_fixed" "3.14" (T.cell_fixed ~digits:2 3.14159);
+  Alcotest.(check string) "cell_pct" "12.300%" (T.cell_pct 0.123);
+  Alcotest.(check string) "nan" "nan" (T.cell_f Float.nan)
+
+(* --- heap ---------------------------------------------------------------- *)
+
+module H = Ss_numeric.Heap
+
+let test_heap_basic () =
+  let h = H.create ~compare:Int.compare in
+  Alcotest.(check bool) "empty" true (H.is_empty h);
+  List.iter (H.push h) [ 5; 1; 4; 1; 3 ];
+  Alcotest.(check int) "length" 5 (H.length h);
+  Alcotest.(check (option int)) "peek" (Some 1) (H.peek h);
+  Alcotest.(check (list int)) "sorted drain" [ 1; 1; 3; 4; 5 ] (H.to_sorted_list h);
+  Alcotest.(check int) "non-destructive" 5 (H.length h)
+
+let test_heap_pop_order () =
+  let h = H.of_list ~compare:Int.compare [ 9; 2; 7 ] in
+  Alcotest.(check (option int)) "pop 2" (Some 2) (H.pop h);
+  Alcotest.(check (option int)) "pop 7" (Some 7) (H.pop h);
+  H.push h 1;
+  Alcotest.(check (option int)) "pop 1" (Some 1) (H.pop h);
+  Alcotest.(check (option int)) "pop 9" (Some 9) (H.pop h);
+  Alcotest.(check (option int)) "pop empty" None (H.pop h)
+
+let test_heap_custom_order () =
+  let h = H.of_list ~compare:(fun a b -> Int.compare b a) [ 1; 5; 3 ] in
+  Alcotest.(check (option int)) "max-heap" (Some 5) (H.pop h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~count:200 ~name:"heap drain = List.sort"
+    QCheck.(list small_nat)
+    (fun xs ->
+      H.to_sorted_list (H.of_list ~compare:Int.compare xs) = List.sort Int.compare xs)
+
+let prop_heap_interleaved =
+  QCheck.Test.make ~count:100 ~name:"interleaved push/pop keeps min property"
+    QCheck.(list (pair bool small_nat))
+    (fun ops ->
+      let h = H.create ~compare:Int.compare in
+      let model = ref [] in
+      List.for_all
+        (fun (is_pop, x) ->
+          if is_pop then begin
+            let expected =
+              match !model with [] -> None | l -> Some (List.fold_left min max_int l)
+            in
+            let got = H.pop h in
+            (match got with
+            | Some v -> model := (let rec rm = function
+                | [] -> []
+                | y :: ys -> if y = v then ys else y :: rm ys in rm !model)
+            | None -> ());
+            got = expected
+          end
+          else begin
+            H.push h x;
+            model := x :: !model;
+            true
+          end)
+        ops)
+
+let prop_kahan_close_to_sorted_sum =
+  QCheck.Test.make ~count:200 ~name:"kahan within float tolerance of exact"
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 200) (float_range (-1e6) 1e6))
+    (fun xs ->
+      (* Exact reference via rationals. *)
+      let exact =
+        List.fold_left
+          (fun acc x -> Ss_numeric.Rational.add acc (Ss_numeric.Rational.of_float x))
+          Ss_numeric.Rational.zero xs
+        |> Ss_numeric.Rational.to_float
+      in
+      Float.abs (K.sum_list xs -. exact) <= 1e-9 *. (1. +. Float.abs exact))
+
+let prop_quantile_monotone =
+  QCheck.Test.make ~count:200 ~name:"quantile monotone in q"
+    QCheck.(list_of_size (QCheck.Gen.int_range 2 50) (float_range (-100.) 100.))
+    (fun xs ->
+      let a = Array.of_list xs in
+      S.quantile a 0.25 <= S.quantile a 0.75)
+
+let () =
+  Alcotest.run "numeric"
+    [
+      ( "kahan",
+        [
+          Alcotest.test_case "catastrophic cancellation" `Quick test_kahan_catastrophic;
+          Alcotest.test_case "sums" `Quick test_kahan_sums;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "basic" `Quick test_stats_basic;
+          Alcotest.test_case "singleton" `Quick test_stats_singleton;
+          Alcotest.test_case "errors" `Quick test_stats_errors;
+          Alcotest.test_case "geomean" `Quick test_geomean;
+          Alcotest.test_case "loglog slope" `Quick test_loglog_slope;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "mismatch" `Quick test_table_mismatch;
+          Alcotest.test_case "cells" `Quick test_cells;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "basic" `Quick test_heap_basic;
+          Alcotest.test_case "pop order" `Quick test_heap_pop_order;
+          Alcotest.test_case "custom order" `Quick test_heap_custom_order;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_kahan_close_to_sorted_sum; prop_quantile_monotone;
+            prop_heap_sorts; prop_heap_interleaved ] );
+    ]

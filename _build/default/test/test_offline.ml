@@ -1,0 +1,428 @@
+(* Tests for the paper's combinatorial offline algorithm (Theorem 1).
+
+   Correctness is pinned down by independent oracles:
+   - YDS at m = 1 (different algorithm, same optimum),
+   - the Frank-Wolfe convex band [lower_bound, energy],
+   - the PWL-LP lower bound,
+   - the exact-rational replay of the algorithm itself,
+   plus the structural properties of Lemmas 1-3. *)
+
+module Job = Ss_model.Job
+module Power = Ss_model.Power
+module Schedule = Ss_model.Schedule
+module Offline = Ss_core.Offline
+module Yds = Ss_core.Yds
+module G = Ss_workload.Generators
+
+let checkf msg = Alcotest.(check (float 1e-6)) msg
+let check_bool = Alcotest.(check bool)
+let j r d w = Job.make ~release:r ~deadline:d ~work:w
+
+let hand_instance =
+  Job.instance ~machines:2 [ j 0. 4. 8.; j 0. 2. 6.; j 1. 3. 2. ]
+
+let random_instance seed =
+  let rng = Ss_workload.Rng.create ~seed in
+  let machines = 1 + Ss_workload.Rng.int rng ~bound:4 in
+  let n = 3 + Ss_workload.Rng.int rng ~bound:9 in
+  G.uniform ~integral:false ~seed:(seed * 7919) ~machines ~jobs:n ~horizon:16. ~max_work:6. ()
+
+(* --- unit -------------------------------------------------------------- *)
+
+let test_hand_instance () =
+  let sched, info = Offline.solve hand_instance in
+  check_bool "feasible" true (Schedule.is_feasible hand_instance sched);
+  checkf "energy 38 at alpha=2" 38. (Schedule.energy (Power.alpha 2.) sched);
+  Alcotest.(check int) "two speed classes" 2 info.phases;
+  checkf "fast class speed" 3. info.speeds.(0);
+  checkf "slow class speed" 2. info.speeds.(1)
+
+let test_single_job () =
+  let inst = Job.instance ~machines:3 [ j 2. 6. 8. ] in
+  let sched, info = Offline.solve inst in
+  check_bool "feasible" true (Schedule.is_feasible inst sched);
+  (* A single job runs at its density over its whole window. *)
+  checkf "speed = density" 2. info.speeds.(0);
+  (* P(2) * 4 time units at alpha = 2. *)
+  checkf "energy" 16. (Schedule.energy (Power.alpha 2.) sched)
+
+let test_more_jobs_than_machines_single_interval () =
+  (* 4 identical jobs, 2 machines, common window: speed = total/(m*span). *)
+  let inst = Job.instance ~machines:2 (List.init 4 (fun _ -> j 0. 2. 3.)) in
+  let sched, info = Offline.solve inst in
+  check_bool "feasible" true (Schedule.is_feasible inst sched);
+  Alcotest.(check int) "one class" 1 info.phases;
+  checkf "balanced speed" 3. info.speeds.(0)
+
+let test_fewer_jobs_than_machines () =
+  (* Each job gets its own processor at its own density. *)
+  let inst = Job.instance ~machines:4 [ j 0. 2. 2.; j 0. 4. 2. ] in
+  let sched, _info = Offline.solve inst in
+  check_bool "feasible" true (Schedule.is_feasible inst sched);
+  checkf "energy = sum of density bounds"
+    ((1. *. 2.) +. (0.25 *. 4.))
+    (Schedule.energy (Power.alpha 2.) sched)
+
+let test_matches_yds_single_processor () =
+  List.iter
+    (fun seed ->
+      let inst = G.uniform ~seed ~machines:1 ~jobs:8 ~horizon:14. ~max_work:5. () in
+      let e_comb = Offline.optimal_energy (Power.alpha 3.) inst in
+      let e_yds = Yds.energy (Power.alpha 3.) (Yds.solve inst) in
+      Alcotest.(check (float 1e-6))
+        (Printf.sprintf "seed %d" seed)
+        e_yds e_comb)
+    [ 1; 2; 3; 4; 5 ]
+
+let test_exact_replay_agrees () =
+  let run = Offline.run hand_instance in
+  let exact = Offline.solve_exact hand_instance in
+  Alcotest.(check int) "same phase count"
+    (List.length run.schedule_phases)
+    (List.length exact.schedule_phases);
+  List.iter2
+    (fun (p : Offline.F.phase) (q : Offline.Exact.phase) ->
+      Alcotest.(check (float 1e-9)) "speed" (Ss_numeric.Rational.to_float q.speed) p.speed;
+      Alcotest.(check (list int)) "members" q.members p.members)
+    run.schedule_phases exact.schedule_phases
+
+let test_info_speeds_strictly_decreasing () =
+  List.iter
+    (fun seed ->
+      let inst = random_instance seed in
+      let _, info = Offline.solve inst in
+      let ok = ref true in
+      for i = 0 to Array.length info.speeds - 2 do
+        if info.speeds.(i) <= info.speeds.(i + 1) +. 1e-12 then ok := false
+      done;
+      check_bool (Printf.sprintf "seed %d decreasing" seed) true !ok)
+    [ 11; 12; 13; 14 ]
+
+(* Lemma 3: within every phase and interval, the reserved processor count
+   is min(active jobs of the class, machines left over). *)
+let test_lemma3_processor_law () =
+  let inst = random_instance 42 in
+  let run = Offline.run inst in
+  let k = Array.length run.breakpoints - 1 in
+  let used = Array.make k 0 in
+  List.iter
+    (fun (phase : Offline.F.phase) ->
+      for jv = 0 to k - 1 do
+        let active =
+          List.filter
+            (fun i ->
+              let job = inst.jobs.(i) in
+              job.release <= run.breakpoints.(jv)
+              && run.breakpoints.(jv + 1) <= job.deadline)
+            phase.members
+        in
+        let expect = min (List.length active) (inst.machines - used.(jv)) in
+        Alcotest.(check int)
+          (Printf.sprintf "m_ij law at interval %d" jv)
+          expect phase.procs.(jv)
+      done;
+      for jv = 0 to k - 1 do
+        used.(jv) <- used.(jv) + phase.procs.(jv)
+      done)
+    run.schedule_phases
+
+(* The phase allocation saturates its reservation: per interval the class's
+   total execution time is exactly procs * width. *)
+let test_phase_allocation_saturates () =
+  let inst = random_instance 17 in
+  let run = Offline.run inst in
+  let k = Array.length run.breakpoints - 1 in
+  List.iter
+    (fun (phase : Offline.F.phase) ->
+      let per_interval = Array.make k 0. in
+      List.iter (fun (_, jv, t) -> per_interval.(jv) <- per_interval.(jv) +. t) phase.alloc;
+      for jv = 0 to k - 1 do
+        let width = run.breakpoints.(jv + 1) -. run.breakpoints.(jv) in
+        Alcotest.(check (float 1e-6))
+          (Printf.sprintf "saturation interval %d" jv)
+          (float_of_int phase.procs.(jv) *. width)
+          per_interval.(jv)
+      done)
+    run.schedule_phases
+
+let test_energy_of_run_matches_schedule () =
+  let inst = random_instance 23 in
+  let run = Offline.run inst in
+  let sched = Offline.schedule_of_run ~machines:inst.machines run in
+  let p = Power.alpha 2.2 in
+  Alcotest.(check (float 1e-6))
+    "phase energy = schedule energy"
+    (Offline.energy_of_run p run)
+    (Schedule.energy p sched)
+
+let test_invalid_inputs () =
+  Alcotest.check_raises "invalid instance" (Invalid_argument "Offline.solve: invalid instance")
+    (fun () -> ignore (Offline.solve { Job.jobs = [||]; machines = 2 }));
+  Alcotest.check_raises "machines" (Invalid_argument "Offline.solve: machines <= 0")
+    (fun () ->
+      ignore (Offline.F.solve ~machines:0 [| { Offline.F.release = 0.; deadline = 1.; work = 1. } |]))
+
+(* Optimal for every convex power function simultaneously: the same
+   schedule's energy under a different convex P still beats the FW band
+   computed for that P. *)
+let test_general_convex_power () =
+  let inst = hand_instance in
+  let sched = Offline.optimal_schedule inst in
+  List.iter
+    (fun p ->
+      let e = Schedule.energy p sched in
+      let fw = Ss_convex.Frank_wolfe.solve ~iterations:250 p inst in
+      check_bool
+        (Printf.sprintf "optimal under %s" (Power.name p))
+        true
+        (e <= fw.energy +. (1e-3 *. fw.energy) && e >= fw.lower_bound -. (1e-3 *. fw.energy)))
+    [ Power.alpha 2.; Power.alpha 3.; Power.cube; Power.poly [ (1., 3.); (0.5, 1.5) ] ]
+
+(* Scale invariances of the optimum for P = s^alpha:
+   E(c * works) = c^alpha E(works); E(time scaled by c) = c^(1-alpha) E. *)
+let test_scaling_invariances () =
+  let alpha = 2.5 in
+  let p = Power.alpha alpha in
+  let inst = random_instance 31 in
+  let base = Offline.optimal_energy p inst in
+  let work_scaled = { inst with Job.jobs = Array.map (Job.scale_work 2.) inst.jobs } in
+  Alcotest.(check (float 1e-4))
+    "work scaling"
+    ((2. ** alpha) *. base)
+    (Offline.optimal_energy p work_scaled);
+  let time_scaled = { inst with Job.jobs = Array.map (Job.scale_time 2.) inst.jobs } in
+  Alcotest.(check (float 1e-4))
+    "time scaling"
+    ((2. ** (1. -. alpha)) *. base)
+    (Offline.optimal_energy p time_scaled)
+
+let test_permutation_invariance () =
+  let inst = random_instance 55 in
+  let n = Array.length inst.jobs in
+  let perm = Array.init n (fun i -> (n - 1) - i) in
+  let shuffled = { inst with Job.jobs = Array.map (fun i -> inst.jobs.(perm.(i))) (Array.init n Fun.id) } in
+  let p = Power.alpha 3. in
+  Alcotest.(check (float 1e-6))
+    "energy invariant under job order"
+    (Offline.optimal_energy p inst)
+    (Offline.optimal_energy p shuffled)
+
+let test_pwl_lower_bound () =
+  let p = Power.alpha 2. in
+  let rep = Ss_core.Pwl_baseline.solve ~tangents:10 p hand_instance in
+  check_bool "pwl lb below optimum" true (rep.lower_bound <= 38. +. 1e-6);
+  check_bool "pwl lb nontrivial" true (rep.lower_bound >= 0.8 *. 38.)
+
+let test_density_lower_bounds () =
+  let p = Power.alpha 2. in
+  let e = Offline.optimal_energy p hand_instance in
+  check_bool "density bound" true (Ss_core.Lower_bounds.density_bound p hand_instance <= e +. 1e-9);
+  check_bool "m^(1-a) bound" true
+    (Ss_core.Lower_bounds.single_processor_bound ~alpha:2. hand_instance <= e +. 1e-9);
+  check_bool "best bound" true (Ss_core.Lower_bounds.best ~alpha:2. hand_instance <= e +. 1e-9)
+
+let test_yds_structure () =
+  (* YDS on the classic example: critical interval first. *)
+  let inst = Job.instance ~machines:1 [ j 0. 2. 2.; j 0. 6. 2.; j 3. 5. 4. ] in
+  let r = Yds.solve inst in
+  checkf "max speed" 2. (Yds.max_speed r);
+  checkf "energy" 12. (Yds.energy (Power.alpha 2.) r);
+  check_bool "levels non-increasing" true
+    (let rec ok = function
+       | a :: (b :: _ as rest) -> a.Yds.speed >= b.Yds.speed -. 1e-9 && ok rest
+       | _ -> true
+     in
+     ok r.levels)
+
+(* Exact end-to-end: materialize the schedule in exact rationals and audit
+   it with zero tolerance — certifies the Lemma 2 packing itself. *)
+let test_exact_schedule_materialization () =
+  List.iter
+    (fun seed ->
+      let inst =
+        G.uniform ~seed:(seed + 70) ~machines:3 ~jobs:8 ~horizon:12. ~max_work:4. ()
+      in
+      let exact = Offline.solve_exact inst in
+      let segs = Offline.Exact.schedule_segments exact in
+      let jobs =
+        Array.map
+          (fun (jb : Job.t) ->
+            {
+              Offline.Exact.release = Ss_numeric.Rational.of_float jb.release;
+              deadline = Ss_numeric.Rational.of_float jb.deadline;
+              work = Ss_numeric.Rational.of_float jb.work;
+            })
+          inst.jobs
+      in
+      match Offline.Exact.check_segments ~machines:inst.machines jobs segs with
+      | [] -> ()
+      | problems ->
+        Alcotest.failf "seed %d: %d exact violations" seed (List.length problems))
+    [ 1; 2; 3 ]
+
+(* The float and exact materializations describe the same schedule. *)
+let test_float_vs_exact_segments () =
+  let inst = hand_instance in
+  let float_segs = Offline.F.schedule_segments (Offline.run inst) in
+  let exact_segs = Offline.Exact.schedule_segments (Offline.solve_exact inst) in
+  Alcotest.(check int) "segment count" (List.length exact_segs) (List.length float_segs);
+  List.iter2
+    (fun (a : Offline.F.segment) (b : Offline.Exact.segment) ->
+      Alcotest.(check int) "job" b.seg_job a.seg_job;
+      Alcotest.(check int) "proc" b.seg_proc a.seg_proc;
+      Alcotest.(check (float 1e-9)) "t0" (Ss_numeric.Rational.to_float b.seg_t0) a.seg_t0;
+      Alcotest.(check (float 1e-9)) "t1" (Ss_numeric.Rational.to_float b.seg_t1) a.seg_t1)
+    float_segs exact_segs
+
+(* --- properties --------------------------------------------------------- *)
+
+let prop_feasible =
+  QCheck.Test.make ~count:60 ~name:"offline schedule always feasible" QCheck.small_nat
+    (fun seed ->
+      let inst = random_instance (seed + 1) in
+      Schedule.is_feasible inst (Offline.optimal_schedule inst))
+
+let prop_within_fw_band =
+  QCheck.Test.make ~count:25 ~name:"offline energy inside Frank-Wolfe band"
+    QCheck.small_nat
+    (fun seed ->
+      let inst = random_instance (seed + 100) in
+      let p = Power.alpha 2.5 in
+      let e = Offline.optimal_energy p inst in
+      let fw = Ss_convex.Frank_wolfe.solve ~iterations:150 p inst in
+      e <= fw.energy +. (5e-3 *. fw.energy) && e >= fw.lower_bound -. (5e-3 *. fw.energy))
+
+let prop_beats_heuristics =
+  QCheck.Test.make ~count:30 ~name:"OPT below every non-migratory heuristic"
+    QCheck.small_nat
+    (fun seed ->
+      let inst = random_instance (seed + 200) in
+      let p = Power.alpha 3. in
+      let opt = Offline.optimal_energy p inst in
+      List.for_all
+        (fun strat -> Ss_online.Nonmigratory.energy strat p inst >= opt -. (1e-6 *. opt))
+        [ Ss_online.Nonmigratory.Round_robin; Least_work; Random 5 ])
+
+let prop_float_vs_exact_speeds =
+  QCheck.Test.make ~count:15 ~name:"float and exact replays agree" QCheck.small_nat
+    (fun seed ->
+      let inst =
+        G.uniform ~seed:(seed + 17) ~machines:2 ~jobs:6 ~horizon:10. ~max_work:4. ()
+      in
+      let run = Offline.run inst in
+      let exact = Offline.solve_exact inst in
+      List.length run.schedule_phases = List.length exact.schedule_phases
+      && List.for_all2
+           (fun (p : Offline.F.phase) (q : Offline.Exact.phase) ->
+             Float.abs (p.speed -. Ss_numeric.Rational.to_float q.speed)
+             <= 1e-9 *. (1. +. p.speed))
+           run.schedule_phases exact.schedule_phases)
+
+(* More machines can only help. *)
+let prop_monotone_in_machines =
+  QCheck.Test.make ~count:25 ~name:"optimal energy non-increasing in machine count"
+    QCheck.small_nat
+    (fun seed ->
+      let inst = random_instance (seed + 400) in
+      let p = Power.alpha 2.5 in
+      let with_m m = Offline.optimal_energy p { inst with Job.machines = m } in
+      let e1 = with_m inst.Job.machines and e2 = with_m (inst.Job.machines + 1) in
+      e2 <= e1 +. (1e-6 *. e1))
+
+(* Relaxing a deadline can only help. *)
+let prop_monotone_in_deadlines =
+  QCheck.Test.make ~count:25 ~name:"optimal energy non-increasing under deadline relaxation"
+    QCheck.small_nat
+    (fun seed ->
+      let inst = random_instance (seed + 500) in
+      let p = Power.alpha 2.5 in
+      let relaxed =
+        { inst with
+          Job.jobs =
+            Array.map (fun (j : Job.t) -> { j with Job.deadline = j.deadline +. 1. }) inst.jobs
+        }
+      in
+      Offline.optimal_energy p relaxed <= Offline.optimal_energy p inst *. (1. +. 1e-6))
+
+(* Removing a job can only help. *)
+let prop_monotone_in_jobs =
+  QCheck.Test.make ~count:25 ~name:"optimal energy non-decreasing when a job is added"
+    QCheck.small_nat
+    (fun seed ->
+      let inst = random_instance (seed + 600) in
+      let p = Power.alpha 2.5 in
+      let n = Array.length inst.Job.jobs in
+      let smaller = { inst with Job.jobs = Array.sub inst.Job.jobs 0 (n - 1) } in
+      Offline.optimal_energy p smaller <= Offline.optimal_energy p inst *. (1. +. 1e-6))
+
+(* Splitting a job into two same-window halves relaxes the no-parallelism
+   constraint, so it can only help on m >= 2 — and changes nothing on a
+   single processor, where parallelism cannot be exploited. *)
+let prop_split_relaxes =
+  QCheck.Test.make ~count:20 ~name:"splitting a job can only decrease the optimum"
+    QCheck.small_nat
+    (fun seed ->
+      let inst = random_instance (seed + 700) in
+      let p = Power.alpha 2. in
+      let j0 = inst.Job.jobs.(0) in
+      let half = { j0 with Job.work = j0.Job.work /. 2. } in
+      let split =
+        { inst with Job.jobs = Array.append [| half; half |] (Array.sub inst.Job.jobs 1 (Array.length inst.Job.jobs - 1)) }
+      in
+      let a = Offline.optimal_energy p inst and b = Offline.optimal_energy p split in
+      let relaxes = b <= a +. (1e-6 *. a) in
+      let single_a = Offline.optimal_energy p { inst with Job.machines = 1 } in
+      let single_b = Offline.optimal_energy p { split with Job.machines = 1 } in
+      relaxes && Float.abs (single_a -. single_b) <= 1e-5 *. (1. +. single_a))
+
+let prop_stats_polynomial =
+  QCheck.Test.make ~count:30 ~name:"round/removal/phase counts polynomially bounded"
+    QCheck.small_nat
+    (fun seed ->
+      let inst = random_instance (seed + 300) in
+      let run = Offline.run inst in
+      let n = Array.length inst.jobs in
+      (* One accepting flow per phase plus one per removal. *)
+      run.stats.rounds = run.stats.phases + run.stats.removals
+      && run.stats.removals <= n * run.stats.phases
+      && run.stats.phases <= n)
+
+let () =
+  Alcotest.run "offline"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "hand instance" `Quick test_hand_instance;
+          Alcotest.test_case "single job" `Quick test_single_job;
+          Alcotest.test_case "balanced class" `Quick test_more_jobs_than_machines_single_interval;
+          Alcotest.test_case "fewer jobs than machines" `Quick test_fewer_jobs_than_machines;
+          Alcotest.test_case "matches YDS at m=1" `Quick test_matches_yds_single_processor;
+          Alcotest.test_case "exact replay" `Quick test_exact_replay_agrees;
+          Alcotest.test_case "speeds decreasing" `Quick test_info_speeds_strictly_decreasing;
+          Alcotest.test_case "Lemma 3 law" `Quick test_lemma3_processor_law;
+          Alcotest.test_case "phase saturation" `Quick test_phase_allocation_saturates;
+          Alcotest.test_case "run energy = schedule energy" `Quick test_energy_of_run_matches_schedule;
+          Alcotest.test_case "invalid inputs" `Quick test_invalid_inputs;
+          Alcotest.test_case "general convex P" `Quick test_general_convex_power;
+          Alcotest.test_case "scaling invariances" `Quick test_scaling_invariances;
+          Alcotest.test_case "permutation invariance" `Quick test_permutation_invariance;
+          Alcotest.test_case "PWL lower bound" `Quick test_pwl_lower_bound;
+          Alcotest.test_case "density bounds" `Quick test_density_lower_bounds;
+          Alcotest.test_case "YDS structure" `Quick test_yds_structure;
+          Alcotest.test_case "exact schedule materialization" `Quick test_exact_schedule_materialization;
+          Alcotest.test_case "float vs exact segments" `Quick test_float_vs_exact_segments;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_feasible;
+            prop_within_fw_band;
+            prop_beats_heuristics;
+            prop_float_vs_exact_speeds;
+            prop_monotone_in_machines;
+            prop_monotone_in_deadlines;
+            prop_monotone_in_jobs;
+            prop_split_relaxes;
+            prop_stats_polynomial;
+          ] );
+    ]

@@ -1,0 +1,92 @@
+(* Tests for the domain-based parallel pool. *)
+
+module Pool = Ss_parallel.Pool
+
+let check_bool = Alcotest.(check bool)
+
+let test_map_matches_sequential () =
+  let arr = Array.init 500 Fun.id in
+  let f x = (x * x) + 1 in
+  List.iter
+    (fun domains ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "domains=%d" domains)
+        (Array.map f arr)
+        (Pool.map ~domains f arr))
+    [ 1; 2; 3; 8 ]
+
+let test_empty () =
+  Alcotest.(check (array int)) "empty" [||] (Pool.map ~domains:4 (fun x -> x) [||])
+
+let test_singleton () =
+  Alcotest.(check (array int)) "singleton" [| 42 |] (Pool.map ~domains:4 (fun x -> x + 41) [| 1 |])
+
+let test_mapi () =
+  let arr = [| 10; 20; 30 |] in
+  Alcotest.(check (array int)) "mapi" [| 10; 21; 32 |] (Pool.mapi ~domains:2 (fun i x -> x + i) arr)
+
+let test_map_list () =
+  Alcotest.(check (list int)) "map_list" [ 2; 4; 6 ] (Pool.map_list ~domains:2 (fun x -> 2 * x) [ 1; 2; 3 ])
+
+let test_map_reduce () =
+  let n = 1000 in
+  let arr = Array.init n Fun.id in
+  let total = Pool.map_reduce ~domains:3 ~map:Fun.id ~reduce:( + ) ~init:0 arr in
+  Alcotest.(check int) "sum" (n * (n - 1) / 2) total
+
+let test_all () =
+  Alcotest.(check (list int)) "thunks" [ 1; 2; 3 ]
+    (Pool.all ~domains:2 [ (fun () -> 1); (fun () -> 2); (fun () -> 3) ])
+
+exception Boom of int
+
+let test_exception_propagates () =
+  let arr = Array.init 100 Fun.id in
+  match Pool.map ~domains:3 (fun x -> if x = 57 then raise (Boom x) else x) arr with
+  | exception Boom 57 -> ()
+  | exception e -> Alcotest.failf "wrong exception %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "expected exception"
+
+let test_default_domains () =
+  check_bool "at least one" true (Pool.default_domains () >= 1);
+  check_bool "bounded" true (Pool.default_domains () <= 8)
+
+(* Real workload through the pool: the deterministic fan-out used by the
+   experiments. *)
+let test_deterministic_scheduling_work () =
+  let cells = Array.init 6 (fun i -> i + 1) in
+  let f seed =
+    let inst =
+      Ss_workload.Generators.uniform ~seed ~machines:2 ~jobs:6 ~horizon:10. ~max_work:3. ()
+    in
+    Ss_core.Offline.optimal_energy (Ss_model.Power.alpha 2.) inst
+  in
+  let seq = Array.map f cells in
+  let par = Pool.map ~domains:4 f cells in
+  Alcotest.(check (array (float 0.))) "bit-identical energies" seq par
+
+let prop_pool_preserves_order =
+  QCheck.Test.make ~count:50 ~name:"results indexed by input position"
+    QCheck.(pair (int_range 1 6) (list_of_size (QCheck.Gen.int_range 0 64) small_nat))
+    (fun (domains, xs) ->
+      let arr = Array.of_list xs in
+      Pool.map ~domains (fun x -> x * 3) arr = Array.map (fun x -> x * 3) arr)
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map matches sequential" `Quick test_map_matches_sequential;
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "singleton" `Quick test_singleton;
+          Alcotest.test_case "mapi" `Quick test_mapi;
+          Alcotest.test_case "map_list" `Quick test_map_list;
+          Alcotest.test_case "map_reduce" `Quick test_map_reduce;
+          Alcotest.test_case "all" `Quick test_all;
+          Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+          Alcotest.test_case "default domains" `Quick test_default_domains;
+          Alcotest.test_case "scheduling work" `Quick test_deterministic_scheduling_work;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest [ prop_pool_preserves_order ]);
+    ]

@@ -1,0 +1,136 @@
+(* Unit and property tests for exact rationals and the FIELD instances. *)
+
+module Q = Ss_numeric.Rational
+module B = Ss_numeric.Bigint
+
+let q = Q.of_ints
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let test_normalization () =
+  check_str "6/4 reduces" "3/2" (Q.to_string (q 6 4));
+  check_str "negative denominator" "-3/2" (Q.to_string (q 3 (-2)));
+  check_str "zero" "0" (Q.to_string (q 0 17));
+  check_str "integer hides denominator" "5" (Q.to_string (q 10 2))
+
+let test_arithmetic () =
+  check_bool "1/2 + 1/3 = 5/6" true (Q.equal (Q.add (q 1 2) (q 1 3)) (q 5 6));
+  check_bool "1/2 - 1/3 = 1/6" true (Q.equal (Q.sub (q 1 2) (q 1 3)) (q 1 6));
+  check_bool "2/3 * 9/4 = 3/2" true (Q.equal (Q.mul (q 2 3) (q 9 4)) (q 3 2));
+  check_bool "div" true (Q.equal (Q.div (q 2 3) (q 4 9)) (q 3 2));
+  check_bool "inv" true (Q.equal (Q.inv (q (-3) 7)) (q (-7) 3))
+
+let test_compare () =
+  check_bool "1/3 < 1/2" true (Q.compare (q 1 3) (q 1 2) < 0);
+  check_bool "-1/2 < 1/3" true (Q.compare (q (-1) 2) (q 1 3) < 0);
+  check_bool "equal cross" true (Q.compare (q 2 4) (q 1 2) = 0);
+  check_bool "min" true (Q.equal (Q.min (q 1 3) (q 1 2)) (q 1 3));
+  check_bool "max" true (Q.equal (Q.max (q 1 3) (q 1 2)) (q 1 2))
+
+let test_of_float_exact () =
+  check_bool "0.5" true (Q.equal (Q.of_float 0.5) (q 1 2));
+  check_bool "0.75" true (Q.equal (Q.of_float 0.75) (q 3 4));
+  check_bool "3.0" true (Q.equal (Q.of_float 3.) (q 3 1));
+  check_bool "-0.125" true (Q.equal (Q.of_float (-0.125)) (q (-1) 8));
+  (* 0.1 is not dyadic: embedding is exact w.r.t. the double bits. *)
+  Alcotest.(check (float 1e-18)) "0.1 bits" 0.1 (Q.to_float (Q.of_float 0.1));
+  Alcotest.check_raises "nan rejected" (Invalid_argument "Rational.of_float: not finite")
+    (fun () -> ignore (Q.of_float Float.nan))
+
+let test_string_roundtrip () =
+  List.iter
+    (fun s -> check_str s s (Q.to_string (Q.of_string s)))
+    [ "0"; "7"; "-3/2"; "12345678901234567890/7" ]
+
+let test_division_by_zero () =
+  Alcotest.check_raises "inv zero" Division_by_zero (fun () -> ignore (Q.inv Q.zero));
+  Alcotest.check_raises "make zero den" Division_by_zero (fun () ->
+      ignore (Q.make B.one B.zero))
+
+(* Field instances: exercise the shared signature. *)
+module Test_field (F : Ss_numeric.Field.S) = struct
+  let run name =
+    let three = F.of_int 3 and two = F.of_int 2 in
+    check_bool (name ^ ": add") true F.(equal (add three two) (of_int 5));
+    check_bool (name ^ ": mul") true F.(equal (mul three two) (of_int 6));
+    check_bool (name ^ ": div-mul") true
+      F.(equal_approx (mul (div three two) two) three);
+    check_bool (name ^ ": neg") true F.(equal (add three (neg three)) zero);
+    check_bool (name ^ ": sign") true (F.sign (F.neg three) = -1);
+    check_bool (name ^ ": leq_approx") true (F.leq_approx two three);
+    check_bool (name ^ ": not leq") false (F.leq_approx three two);
+    check_bool (name ^ ": to_float") true (F.to_float three = 3.)
+end
+
+let test_field_instances () =
+  let module Tf = Test_field (Ss_numeric.Field.Float) in
+  Tf.run "float";
+  let module Tq = Test_field (Q.Field) in
+  Tq.run "rational"
+
+let test_float_tolerance () =
+  let module F = Ss_numeric.Field.Float in
+  check_bool "approx equal under tolerance" true (F.equal_approx 1. (1. +. 1e-12));
+  check_bool "distinct beyond tolerance" false (F.equal_approx 1. 1.001);
+  check_bool "relative scaling" true (F.equal_approx 1e12 (1e12 +. 1.))
+
+(* --- properties -------------------------------------------------------- *)
+
+let arb_q =
+  QCheck.(
+    map
+      (fun (n, d) -> q n (if d = 0 then 1 else d))
+      (pair (int_range (-10000) 10000) (int_range (-100) 100)))
+
+let prop_add_comm =
+  QCheck.Test.make ~count:300 ~name:"addition commutes" (QCheck.pair arb_q arb_q)
+    (fun (a, b) -> Q.equal (Q.add a b) (Q.add b a))
+
+let prop_mul_distributes =
+  QCheck.Test.make ~count:300 ~name:"distributivity"
+    (QCheck.triple arb_q arb_q arb_q)
+    (fun (a, b, c) ->
+      Q.equal (Q.mul a (Q.add b c)) (Q.add (Q.mul a b) (Q.mul a c)))
+
+let prop_compare_total =
+  QCheck.Test.make ~count:300 ~name:"compare antisymmetric" (QCheck.pair arb_q arb_q)
+    (fun (a, b) -> Q.compare a b = -Q.compare b a)
+
+let prop_float_agreement =
+  QCheck.Test.make ~count:300 ~name:"ops agree with float within 1e-9"
+    (QCheck.pair arb_q arb_q)
+    (fun (a, b) ->
+      let fa = Q.to_float a and fb = Q.to_float b in
+      let close x y = Float.abs (x -. y) <= 1e-9 *. (1. +. Float.abs y) in
+      close (Q.to_float (Q.add a b)) (fa +. fb)
+      && close (Q.to_float (Q.mul a b)) (fa *. fb))
+
+let prop_of_float_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"of_float/to_float identity on doubles"
+    QCheck.(float_range (-1e6) 1e6)
+    (fun x -> Q.to_float (Q.of_float x) = x)
+
+let () =
+  Alcotest.run "rational"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "normalization" `Quick test_normalization;
+          Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+          Alcotest.test_case "compare" `Quick test_compare;
+          Alcotest.test_case "of_float exact" `Quick test_of_float_exact;
+          Alcotest.test_case "string roundtrip" `Quick test_string_roundtrip;
+          Alcotest.test_case "division by zero" `Quick test_division_by_zero;
+          Alcotest.test_case "field instances" `Quick test_field_instances;
+          Alcotest.test_case "float tolerance" `Quick test_float_tolerance;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_add_comm;
+            prop_mul_distributes;
+            prop_compare_total;
+            prop_float_agreement;
+            prop_of_float_roundtrip;
+          ] );
+    ]

@@ -1,0 +1,228 @@
+(* Simplex LP solver tests: textbook problems, degenerate cases,
+   infeasible/unbounded detection, and random cross-checks against a
+   brute-force vertex enumerator on 2-variable problems. *)
+
+module S = Ss_lp.Simplex
+
+let checkf msg = Alcotest.(check (float 1e-7)) msg
+
+let solve_exn p =
+  match S.solve p with
+  | S.Optimal sol -> sol
+  | S.Infeasible -> Alcotest.fail "unexpectedly infeasible"
+  | S.Unbounded -> Alcotest.fail "unexpectedly unbounded"
+
+let test_textbook_max () =
+  (* max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 -> 36 at (2,6). *)
+  let p =
+    {
+      S.objective = [| 3.; 5. |];
+      rows =
+        [|
+          ([| 1.; 0. |], S.Le, 4.);
+          ([| 0.; 2. |], S.Le, 12.);
+          ([| 3.; 2. |], S.Le, 18.);
+        |];
+    }
+  in
+  let sol = solve_exn p in
+  checkf "value" 36. sol.value;
+  checkf "x" 2. sol.x.(0);
+  checkf "y" 6. sol.x.(1)
+
+let test_equalities () =
+  (* max x + y s.t. x + y = 10, x - y <= 2 -> 10. *)
+  let p =
+    {
+      S.objective = [| 1.; 1. |];
+      rows = [| ([| 1.; 1. |], S.Eq, 10.); ([| 1.; -1. |], S.Le, 2.) |];
+    }
+  in
+  checkf "value" 10. (solve_exn p).value
+
+let test_ge_rows () =
+  (* min 2x + 3y s.t. x + y >= 4, x >= 1 -> 2*4? optimum at y=0? check:
+     minimize, x>=1, x+y>=4: candidates (4,0): 8; (1,3): 11 -> 8. *)
+  match
+    S.minimize ~objective:[| 2.; 3. |]
+      ~rows:[| ([| 1.; 1. |], S.Ge, 4.); ([| 1.; 0. |], S.Ge, 1.) |]
+      ()
+  with
+  | S.Optimal sol -> checkf "min value" 8. sol.value
+  | _ -> Alcotest.fail "expected optimum"
+
+let test_infeasible () =
+  let p =
+    {
+      S.objective = [| 1. |];
+      rows = [| ([| 1. |], S.Le, 1.); ([| 1. |], S.Ge, 2.) |];
+    }
+  in
+  match S.solve p with
+  | S.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible"
+
+let test_unbounded () =
+  let p = { S.objective = [| 1. |]; rows = [| ([| -1. |], S.Le, 1.) |] } in
+  match S.solve p with
+  | S.Unbounded -> ()
+  | _ -> Alcotest.fail "expected unbounded"
+
+let test_degenerate () =
+  (* Redundant constraints meeting at one vertex; Bland must not cycle. *)
+  let p =
+    {
+      S.objective = [| 1.; 1. |];
+      rows =
+        [|
+          ([| 1.; 0. |], S.Le, 1.);
+          ([| 0.; 1. |], S.Le, 1.);
+          ([| 1.; 1. |], S.Le, 2.);
+          ([| 2.; 2. |], S.Le, 4.);
+        |];
+    }
+  in
+  checkf "value" 2. (solve_exn p).value
+
+let test_zero_objective () =
+  let p = { S.objective = [| 0.; 0. |]; rows = [| ([| 1.; 1. |], S.Le, 5.) |] } in
+  checkf "value" 0. (solve_exn p).value
+
+let test_negative_rhs_normalization () =
+  (* x >= 2 written as -x <= -2. *)
+  match
+    S.minimize ~objective:[| 1. |] ~rows:[| ([| -1. |], S.Le, -2.) |] ()
+  with
+  | S.Optimal sol -> checkf "value" 2. sol.value
+  | _ -> Alcotest.fail "expected optimum"
+
+let test_row_mismatch () =
+  Alcotest.check_raises "width" (Invalid_argument "Simplex.solve: row width mismatch")
+    (fun () ->
+      ignore (S.solve { S.objective = [| 1.; 2. |]; rows = [| ([| 1. |], S.Le, 1.) |] }))
+
+(* Brute force for 2-variable LPs with Le rows: enumerate intersections of
+   constraint boundaries (and axes) and take the best feasible point. *)
+let brute_force_2d objective rows =
+  let lines =
+    Array.to_list rows
+    |> List.map (fun (a, _, b) -> (a.(0), a.(1), b))
+    |> List.append [ (1., 0., 0.); (0., 1., 0.) ]
+  in
+  let feasible (x, y) =
+    x >= -1e-9 && y >= -1e-9
+    && Array.for_all (fun (a, _, b) -> (a.(0) *. x) +. (a.(1) *. y) <= b +. 1e-7) rows
+  in
+  let candidates = ref [ (0., 0.) ] in
+  List.iteri
+    (fun i (a1, b1, c1) ->
+      List.iteri
+        (fun j (a2, b2, c2) ->
+          if i < j then begin
+            let det = (a1 *. b2) -. (a2 *. b1) in
+            if Float.abs det > 1e-9 then begin
+              let x = ((c1 *. b2) -. (c2 *. b1)) /. det in
+              let y = ((a1 *. c2) -. (a2 *. c1)) /. det in
+              candidates := (x, y) :: !candidates
+            end
+          end)
+        lines)
+    lines;
+  List.filter feasible !candidates
+  |> List.map (fun (x, y) -> (objective.(0) *. x) +. (objective.(1) *. y))
+  |> List.fold_left Float.max neg_infinity
+
+let prop_matches_brute_force =
+  QCheck.Test.make ~count:200 ~name:"2-var LP matches vertex enumeration"
+    QCheck.small_nat
+    (fun seed ->
+      let rng = Ss_workload.Rng.create ~seed:(seed + 1) in
+      let nrows = 2 + Ss_workload.Rng.int rng ~bound:4 in
+      let rows =
+        Array.init nrows (fun _ ->
+            ( [| Ss_workload.Rng.uniform rng ~lo:0.1 ~hi:4.;
+                 Ss_workload.Rng.uniform rng ~lo:0.1 ~hi:4. |],
+              S.Le,
+              Ss_workload.Rng.uniform rng ~lo:1. ~hi:10. ))
+      in
+      let objective =
+        [| Ss_workload.Rng.uniform rng ~lo:0.1 ~hi:3.;
+           Ss_workload.Rng.uniform rng ~lo:0.1 ~hi:3. |]
+      in
+      match S.solve { S.objective; rows } with
+      | S.Optimal sol ->
+        let bf = brute_force_2d objective rows in
+        Float.abs (sol.value -. bf) <= 1e-5 *. (1. +. Float.abs bf)
+      | S.Infeasible | S.Unbounded -> false)
+
+let prop_solution_feasible =
+  QCheck.Test.make ~count:200 ~name:"returned point satisfies constraints"
+    QCheck.small_nat
+    (fun seed ->
+      let rng = Ss_workload.Rng.create ~seed:(seed + 77) in
+      let nvars = 2 + Ss_workload.Rng.int rng ~bound:4 in
+      let nrows = 2 + Ss_workload.Rng.int rng ~bound:5 in
+      let rows =
+        Array.init nrows (fun _ ->
+            ( Array.init nvars (fun _ -> Ss_workload.Rng.uniform rng ~lo:0. ~hi:3.),
+              S.Le,
+              Ss_workload.Rng.uniform rng ~lo:1. ~hi:10. ))
+      in
+      let objective = Array.init nvars (fun _ -> Ss_workload.Rng.uniform rng ~lo:0. ~hi:2.) in
+      match S.solve { S.objective; rows } with
+      | S.Optimal { x; _ } ->
+        Array.for_all (fun v -> v >= -1e-9) x
+        && Array.for_all
+             (fun (a, _, b) ->
+               Ss_numeric.Kahan.sum_f nvars (fun i -> a.(i) *. x.(i)) <= b +. 1e-6)
+             rows
+      | S.Infeasible | S.Unbounded -> false)
+
+(* Strong duality: for max c.x s.t. Ax <= b, x >= 0, the dual
+   min b.y s.t. A^T y >= c, y >= 0 has the same optimum. *)
+let prop_strong_duality =
+  QCheck.Test.make ~count:100 ~name:"primal optimum = dual optimum" QCheck.small_nat
+    (fun seed ->
+      let rng = Ss_workload.Rng.create ~seed:(seed + 11) in
+      let nvars = 2 + Ss_workload.Rng.int rng ~bound:3 in
+      let nrows = 2 + Ss_workload.Rng.int rng ~bound:3 in
+      let a =
+        Array.init nrows (fun _ ->
+            Array.init nvars (fun _ -> Ss_workload.Rng.uniform rng ~lo:0.2 ~hi:3.))
+      in
+      let b = Array.init nrows (fun _ -> Ss_workload.Rng.uniform rng ~lo:1. ~hi:8.) in
+      let c = Array.init nvars (fun _ -> Ss_workload.Rng.uniform rng ~lo:0.2 ~hi:2.) in
+      let primal =
+        S.solve
+          { S.objective = c; rows = Array.init nrows (fun i -> (a.(i), S.Le, b.(i))) }
+      in
+      let dual =
+        S.minimize ~objective:b
+          ~rows:
+            (Array.init nvars (fun jv ->
+                 (Array.init nrows (fun i -> a.(i).(jv)), S.Ge, c.(jv))))
+          ()
+      in
+      match (primal, dual) with
+      | S.Optimal p, S.Optimal d -> Float.abs (p.value -. d.value) <= 1e-5 *. (1. +. p.value)
+      | _ -> false)
+
+let () =
+  Alcotest.run "simplex"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "textbook max" `Quick test_textbook_max;
+          Alcotest.test_case "equalities" `Quick test_equalities;
+          Alcotest.test_case "ge rows" `Quick test_ge_rows;
+          Alcotest.test_case "infeasible" `Quick test_infeasible;
+          Alcotest.test_case "unbounded" `Quick test_unbounded;
+          Alcotest.test_case "degenerate" `Quick test_degenerate;
+          Alcotest.test_case "zero objective" `Quick test_zero_objective;
+          Alcotest.test_case "negative rhs" `Quick test_negative_rhs_normalization;
+          Alcotest.test_case "row mismatch" `Quick test_row_mismatch;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_matches_brute_force; prop_solution_feasible; prop_strong_duality ] );
+    ]

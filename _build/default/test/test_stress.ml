@@ -1,0 +1,119 @@
+(* Stress and robustness: extreme magnitudes, degenerate window
+   structures, large instances, many machines.  Everything must stay
+   feasible and respect the closed-form lower bounds (the cheap sanity
+   oracle at scale). *)
+
+module Job = Ss_model.Job
+module Power = Ss_model.Power
+module Schedule = Ss_model.Schedule
+module Offline = Ss_core.Offline
+
+let check_bool = Alcotest.(check bool)
+let j r d w = Job.make ~release:r ~deadline:d ~work:w
+
+let sane ?(alpha = 2.5) name inst =
+  let sched = Offline.optimal_schedule inst in
+  check_bool (name ^ ": feasible") true (Schedule.is_feasible inst sched);
+  let p = Power.alpha alpha in
+  let e = Schedule.energy p sched in
+  check_bool (name ^ ": finite energy") true (Float.is_finite e && e > 0.);
+  let lb = Ss_core.Lower_bounds.best ~alpha inst in
+  check_bool (name ^ ": above lower bounds") true (e >= lb *. (1. -. 1e-6))
+
+let test_large_instance () =
+  sane "n=200 m=8"
+    (Ss_workload.Generators.uniform ~seed:1 ~machines:8 ~jobs:200 ~horizon:300. ~max_work:5. ())
+
+let test_identical_windows () =
+  sane "100 identical jobs" (Job.instance ~machines:3 (List.init 100 (fun _ -> j 0. 10. 1.)))
+
+let test_fully_nested () =
+  (* Strictly nested windows (worst case for phase counts). *)
+  let jobs = List.init 40 (fun i -> j (float_of_int i) (100. -. float_of_int i) 1.) in
+  sane "40 nested windows" (Job.instance ~machines:4 jobs)
+
+let test_laminar_chain () =
+  (* Disjoint unit windows back-to-back: the grid has one job per slice. *)
+  let jobs = List.init 80 (fun i -> j (float_of_int i) (float_of_int (i + 1)) 2.) in
+  sane "80-slot chain" (Job.instance ~machines:2 jobs)
+
+let test_tiny_magnitudes () =
+  let jobs = List.init 10 (fun i -> j (1e-6 *. float_of_int i) (1e-6 *. float_of_int (i + 3)) 1e-7) in
+  sane "micro scale" (Job.instance ~machines:2 jobs)
+
+let test_huge_magnitudes () =
+  let jobs = List.init 10 (fun i -> j (1e6 *. float_of_int i) (1e6 *. float_of_int (i + 3)) 1e7) in
+  sane "mega scale" (Job.instance ~machines:2 jobs)
+
+let test_mixed_magnitudes () =
+  (* A tiny urgent job inside a huge lazy one: 12 orders of magnitude. *)
+  sane "mixed scale"
+    (Job.instance ~machines:2 [ j 0. 1e6 1e6; j 100. 100.001 1e-5; j 50. 60. 5. ])
+
+let test_many_machines_few_jobs () =
+  sane "m=64 n=12"
+    (Ss_workload.Generators.uniform ~seed:3 ~machines:64 ~jobs:12 ~horizon:20. ~max_work:4. ())
+
+let test_single_machine_heavy () =
+  sane "m=1 n=100"
+    (Ss_workload.Generators.poisson ~seed:5 ~machines:1 ~jobs:100 ~rate:2. ~mean_work:1. ~slack:3. ())
+
+let test_deep_staircase () =
+  sane "staircase levels=12"
+    (Ss_workload.Generators.staircase ~machines:4 ~levels:12 ~copies:4 ())
+
+let test_heavy_tail_outlier () =
+  (* One job 10^5 times heavier than the rest. *)
+  let jobs = j 0. 10. 1e5 :: List.init 20 (fun i -> j (float_of_int (i mod 8)) (float_of_int ((i mod 8) + 3)) 1.) in
+  sane "extreme outlier" (Job.instance ~machines:3 jobs)
+
+let test_online_on_large_instance () =
+  let inst =
+    Ss_workload.Generators.poisson ~seed:7 ~machines:4 ~jobs:80 ~rate:2. ~mean_work:2. ~slack:2.5 ()
+  in
+  let p = Power.alpha 3. in
+  let oa = Ss_online.Oa.schedule inst in
+  check_bool "OA feasible at n=80" true (Schedule.is_feasible inst oa);
+  let avr = Ss_online.Avr.schedule inst in
+  check_bool "AVR feasible at n=80" true (Schedule.is_feasible inst avr);
+  let e_opt = Offline.optimal_energy p inst in
+  check_bool "OA within bound" true (Schedule.energy p oa <= 27. *. e_opt);
+  check_bool "AVR within bound" true
+    (Schedule.energy p avr <= Ss_online.Avr.competitive_bound ~alpha:3. *. e_opt)
+
+let test_exact_replay_scales () =
+  (* Exact rationals on a non-trivial instance stay fast enough. *)
+  let inst =
+    Ss_workload.Generators.uniform ~seed:11 ~machines:3 ~jobs:16 ~horizon:24. ~max_work:5. ()
+  in
+  let exact = Offline.solve_exact inst in
+  let run = Offline.run inst in
+  Alcotest.(check int) "same phases" (List.length run.schedule_phases)
+    (List.length exact.schedule_phases)
+
+let () =
+  Alcotest.run "stress"
+    [
+      ( "scale",
+        [
+          Alcotest.test_case "large instance" `Slow test_large_instance;
+          Alcotest.test_case "identical windows" `Quick test_identical_windows;
+          Alcotest.test_case "nested windows" `Quick test_fully_nested;
+          Alcotest.test_case "chain" `Quick test_laminar_chain;
+          Alcotest.test_case "online at n=80" `Slow test_online_on_large_instance;
+          Alcotest.test_case "exact replay n=16" `Slow test_exact_replay_scales;
+        ] );
+      ( "magnitudes",
+        [
+          Alcotest.test_case "tiny" `Quick test_tiny_magnitudes;
+          Alcotest.test_case "huge" `Quick test_huge_magnitudes;
+          Alcotest.test_case "mixed" `Quick test_mixed_magnitudes;
+          Alcotest.test_case "outlier" `Quick test_heavy_tail_outlier;
+        ] );
+      ( "shapes",
+        [
+          Alcotest.test_case "many machines" `Quick test_many_machines_few_jobs;
+          Alcotest.test_case "single machine heavy" `Slow test_single_machine_heavy;
+          Alcotest.test_case "deep staircase" `Quick test_deep_staircase;
+        ] );
+    ]
