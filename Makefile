@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench tables micro examples clean
+.PHONY: all build test bench bench-json bench-smoke tables micro examples clean
 
 all: build
 
@@ -18,6 +18,15 @@ bench:
 
 bench-output:
 	dune exec bench/main.exe 2>&1 | tee bench_output.txt
+
+# Machine-readable perf snapshot (per-benchmark ns/run + solver round and
+# resume counters); regenerates BENCH_1.json for the perf trajectory.
+bench-json:
+	dune exec bench/main.exe -- micro --json BENCH_1.json
+
+# Tiny-quota run of the same pipeline (also wired into `dune runtest`).
+bench-smoke:
+	dune build @bench-smoke
 
 tables:
 	dune exec bench/main.exe -- tables

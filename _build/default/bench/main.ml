@@ -5,7 +5,13 @@
                                             bechamel micro-benchmarks
      dune exec bench/main.exe -- <id>     — one experiment (e.g. e3)
      dune exec bench/main.exe -- micro    — micro-benchmarks only
+     dune exec bench/main.exe -- smoke    — tiny-quota subset (CI alias)
      dune exec bench/main.exe -- tables   — tables only
+
+   Appending [--json FILE] to the micro/smoke modes additionally writes a
+   machine-readable report (per-benchmark ns/run plus offline-solver round
+   and resume counters) so the perf trajectory can be tracked across PRs:
+   `make bench-json` produces BENCH_1.json this way.
 
    The experiment implementations live in lib/experiments (shared with the
    speedscale CLI); this executable is the entry point that regenerates
@@ -71,11 +77,99 @@ let micro_tests () =
         (Staged.stage (fun () -> Ss_workload.Trace.of_string (Ss_workload.Trace.to_string flow_instance)));
     ]
 
-let run_micro () =
-  print_endline "== micro-benchmarks (bechamel, monotonic clock) ==";
+(* Cheap subset for the @bench-smoke alias: enough to exercise the whole
+   measurement + JSON pipeline on every `dune runtest` without noticeably
+   slowing it down. *)
+let smoke_tests () =
+  let offline30 =
+    Ss_workload.Generators.uniform ~seed:2 ~machines:4 ~jobs:30 ~horizon:50. ~max_work:5. ()
+  in
+  let online15 =
+    Ss_workload.Generators.poisson ~seed:4 ~machines:4 ~jobs:15 ~rate:1.2 ~mean_work:2.5
+      ~slack:2.5 ()
+  in
+  Test.make_grouped ~name:"speedscale"
+    [
+      Test.make ~name:"offline/n=30,m=4" (Staged.stage (fun () -> Ss_core.Offline.run offline30));
+      Test.make ~name:"oa/n=15,m=4" (Staged.stage (fun () -> Ss_online.Oa.run online15));
+    ]
+
+(* Offline-solver round/resume counters (and incremental-vs-scratch
+   timings) on the representative micro instances: the part of the JSON
+   report that tracks the solver's algorithmic trajectory, not just wall
+   time. *)
+let solver_counters ~smoke =
+  let specs =
+    if smoke then [ ("offline/n=30,m=4", 2, 4, 30, 50.) ]
+    else [ ("offline/n=30,m=4", 2, 4, 30, 50.); ("offline/n=60,m=4", 3, 4, 60, 90.) ]
+  in
+  List.map
+    (fun (name, seed, machines, jobs, horizon) ->
+      let inst =
+        Ss_workload.Generators.uniform ~seed ~machines ~jobs ~horizon ~max_work:5. ()
+      in
+      let t_scratch =
+        Ss_experiments.Common.time_median (fun () ->
+            ignore (Ss_core.Offline.run ~incremental:false inst))
+      in
+      let t_inc =
+        Ss_experiments.Common.time_median (fun () ->
+            ignore (Ss_core.Offline.run ~incremental:true inst))
+      in
+      let r = Ss_core.Offline.run inst in
+      (name, r.stats, t_scratch, t_inc))
+    specs
+
+let emit_json ~file ~mode rows counters =
+  let open Ss_numeric.Json in
+  let num x = if Float.is_finite x then Num x else Null in
+  let benchmarks =
+    Arr
+      (List.map
+         (fun (name, ns) -> Obj [ ("name", Str name); ("ns_per_run", num ns) ])
+         rows)
+  in
+  let solver =
+    Arr
+      (List.map
+         (fun (name, (s : Ss_core.Offline.F.stats), t_scratch, t_inc) ->
+           Obj
+             [
+               ("instance", Str name);
+               ("phases", Num (float_of_int s.phases));
+               ("rounds", Num (float_of_int s.rounds));
+               ("resumes", Num (float_of_int s.resumes));
+               ("removals", Num (float_of_int s.removals));
+               ("scratch_ms", num t_scratch);
+               ("incremental_ms", num t_inc);
+               ("speedup", num (t_scratch /. Float.max 1e-9 t_inc));
+             ])
+         counters)
+  in
+  let doc =
+    Obj
+      [
+        ("schema", Str "speedscale-bench/v1");
+        ("mode", Str mode);
+        ("benchmarks", benchmarks);
+        ("solver", solver);
+      ]
+  in
+  Out_channel.with_open_text file (fun oc ->
+      output_string oc (to_string doc);
+      output_char oc '\n');
+  Printf.printf "wrote %s\n" file
+
+let run_micro ?json_file ?(smoke = false) () =
+  print_endline
+    (if smoke then "== micro-benchmarks (smoke subset, tiny quota) =="
+     else "== micro-benchmarks (bechamel, monotonic clock) ==");
   let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.4) ~kde:None () in
-  let raw = Benchmark.all cfg instances (micro_tests ()) in
+  let cfg =
+    if smoke then Benchmark.cfg ~limit:10 ~quota:(Time.second 0.02) ~kde:None ()
+    else Benchmark.cfg ~limit:200 ~quota:(Time.second 0.4) ~kde:None ()
+  in
+  let raw = Benchmark.all cfg instances (if smoke then smoke_tests () else micro_tests ()) in
   let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows =
@@ -89,32 +183,50 @@ let run_micro () =
         (name, ns) :: acc)
       results []
     |> List.sort (fun (a, _) (b, _) -> compare a b)
-    |> List.map (fun (name, ns) ->
-           let cell =
-             if Float.is_nan ns then "n/a"
-             else if ns > 1e9 then Printf.sprintf "%.3f s" (ns /. 1e9)
-             else if ns > 1e6 then Printf.sprintf "%.3f ms" (ns /. 1e6)
-             else if ns > 1e3 then Printf.sprintf "%.3f us" (ns /. 1e3)
-             else Printf.sprintf "%.0f ns" ns
-           in
-           [ name; cell ])
+  in
+  let printable =
+    List.map
+      (fun (name, ns) ->
+        let cell =
+          if Float.is_nan ns then "n/a"
+          else if ns > 1e9 then Printf.sprintf "%.3f s" (ns /. 1e9)
+          else if ns > 1e6 then Printf.sprintf "%.3f ms" (ns /. 1e6)
+          else if ns > 1e3 then Printf.sprintf "%.3f us" (ns /. 1e3)
+          else Printf.sprintf "%.0f ns" ns
+        in
+        [ name; cell ])
+      rows
   in
   Ss_numeric.Table.print
-    (Ss_numeric.Table.make ~title:"" ~headers:[ "benchmark"; "time/run" ] rows);
-  print_newline ()
+    (Ss_numeric.Table.make ~title:"" ~headers:[ "benchmark"; "time/run" ] printable);
+  print_newline ();
+  match json_file with
+  | None -> ()
+  | Some file ->
+    emit_json ~file ~mode:(if smoke then "smoke" else "micro") rows (solver_counters ~smoke)
 
 let usage () =
-  Printf.printf "usage: main.exe [tables | micro | <experiment id>]\n";
+  Printf.printf "usage: main.exe [tables | micro | smoke | <experiment id>] [--json FILE]\n";
   Printf.printf "experiment ids: %s\n" (String.concat " " (Ss_experiments.Registry.ids ()))
 
 let () =
-  match Array.to_list Sys.argv with
-  | _ :: [] ->
+  let rec split_json acc = function
+    | [] -> (List.rev acc, None)
+    | [ "--json" ] ->
+      prerr_endline "--json requires a file argument";
+      exit 1
+    | "--json" :: file :: rest -> (List.rev acc @ rest, Some file)
+    | x :: rest -> split_json (x :: acc) rest
+  in
+  let modes, json_file = split_json [] (List.tl (Array.to_list Sys.argv)) in
+  match modes with
+  | [] ->
     Ss_experiments.Registry.run_all ();
-    run_micro ()
-  | _ :: [ "tables" ] -> Ss_experiments.Registry.run_all ()
-  | _ :: [ "micro" ] -> run_micro ()
-  | _ :: [ id ] ->
+    run_micro ?json_file ()
+  | [ "tables" ] -> Ss_experiments.Registry.run_all ()
+  | [ "micro" ] -> run_micro ?json_file ()
+  | [ "smoke" ] -> run_micro ?json_file ~smoke:true ()
+  | [ id ] ->
     if not (Ss_experiments.Registry.run_one (String.lowercase_ascii id)) then begin
       Printf.printf "unknown experiment id: %s\n" id;
       usage ();

@@ -1,1 +1,1 @@
-lib/core/offline.ml: Array Hashtbl List Ss_flow Ss_model Ss_numeric
+lib/core/offline.ml: Array List Ss_flow Ss_model Ss_numeric

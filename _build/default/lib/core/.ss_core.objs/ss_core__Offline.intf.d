@@ -1,1 +1,1 @@
-lib/core/offline.mli: Ss_model Ss_numeric
+lib/core/offline.mli: Ss_flow Ss_model Ss_numeric

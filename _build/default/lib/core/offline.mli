@@ -9,6 +9,10 @@
     exact rationals for certification. *)
 
 module Make (F : Ss_numeric.Field.S) : sig
+  module Flow : module type of Ss_flow.Maxflow.Make (F)
+  (** The flow substrate this instantiation runs on; exposed so tests can
+      audit the warm-started flows via [on_flow]. *)
+
   type job = { release : F.t; deadline : F.t; work : F.t }
 
   type phase = {
@@ -23,6 +27,10 @@ module Make (F : Ss_numeric.Field.S) : sig
   type stats = {
     phases : int;
     rounds : int;  (** max-flow computations performed *)
+    resumes : int;
+        (** rounds answered by a warm-started resume instead of a
+            from-scratch max-flow (0 when [incremental:false] or with the
+            push-relabel backend, which cannot resume a feasible flow) *)
     removals : int;  (** Lemma 4 job removals *)
   }
 
@@ -45,10 +53,21 @@ module Make (F : Ss_numeric.Field.S) : sig
   val solve :
     ?flow_algorithm:flow_algorithm ->
     ?victim_rule:victim_rule ->
+    ?incremental:bool ->
+    ?on_flow:(Flow.t -> unit) ->
     machines:int ->
     job array ->
     run
-  (** @raise Invalid_argument on malformed jobs.
+  (** [incremental] (default [true]) builds the Fig. 1 network once per
+      phase and answers each failed round by repairing the installed flow
+      (drain the Lemma 4 victim, shrink the affected capacities, resume
+      Dinic) instead of rebuilding and recomputing from zero.  Both paths
+      produce identical phase partitions, speeds, reservations and energy;
+      only the round-internal flow distributions (and hence victim order
+      and round counts) may differ.  [on_flow] is invoked with the network
+      after every round's max-flow answer — a test hook for auditing the
+      warm-started flows.
+      @raise Invalid_argument on malformed jobs.
       @raise Stranded_job only on internal failure (valid instances are
       always schedulable). *)
 
@@ -78,11 +97,12 @@ module Exact : module type of Make (Ss_numeric.Rational.Field)
 type info = {
   phases : int;
   rounds : int;
+  resumes : int;
   removals : int;
   speeds : float array;
 }
 
-val solve : Ss_model.Job.instance -> Ss_model.Schedule.t * info
+val solve : ?incremental:bool -> Ss_model.Job.instance -> Ss_model.Schedule.t * info
 (** Full pipeline: run the algorithm and materialize the schedule via the
     Lemma 2 wrap-packing.  The result is feasible and optimal for every
     convex non-decreasing power function. *)
@@ -90,7 +110,7 @@ val solve : Ss_model.Job.instance -> Ss_model.Schedule.t * info
 val optimal_schedule : Ss_model.Job.instance -> Ss_model.Schedule.t
 val optimal_energy : Ss_model.Power.t -> Ss_model.Job.instance -> float
 
-val run : Ss_model.Job.instance -> F.run
+val run : ?incremental:bool -> Ss_model.Job.instance -> F.run
 (** The raw phase structure (no schedule materialization). *)
 
 val energy_of_run : Ss_model.Power.t -> F.run -> float
@@ -98,5 +118,5 @@ val energy_of_run : Ss_model.Power.t -> F.run -> float
 
 val schedule_of_run : machines:int -> F.run -> Ss_model.Schedule.t
 
-val solve_exact : Ss_model.Job.instance -> Exact.run
+val solve_exact : ?incremental:bool -> Ss_model.Job.instance -> Exact.run
 (** Exact-rational replay of the entire algorithm (floats embed exactly). *)

@@ -9,16 +9,22 @@
    Representation: forward/backward edge pairs at indices (2k, 2k+1) in flat
    arrays, adjacency as per-vertex lists of edge indices.  Residual capacity
    of edge e is cap.(e) - flow.(e); pushing x along e adds x to flow.(e) and
-   subtracts x from flow.(e lxor 1). *)
+   subtracts x from flow.(e lxor 1).
+
+   The arena is reusable: [clear] rewinds the edge count without freeing the
+   flat arrays, and the warm-start primitives ([set_capacity],
+   [cancel_through], [reduce_to_capacity], [dinic_resume]) let the offline
+   solver repair an installed flow after a small capacity perturbation
+   instead of recomputing from zero (see lib/core/offline.ml). *)
 
 module Make (F : Ss_numeric.Field.S) = struct
   type t = {
-    n : int;
+    mutable n : int;
     mutable m : int;                (* number of arcs incl. reverses *)
     mutable cap : F.t array;
     mutable flow : F.t array;
     mutable dst : int array;
-    adj : int list array;           (* edge indices leaving each vertex *)
+    mutable adj : int list array;   (* edge indices leaving each vertex *)
     mutable adj_arr : int array array option;  (* frozen adjacency *)
   }
 
@@ -32,6 +38,18 @@ module Make (F : Ss_numeric.Field.S) = struct
       adj = Array.make n [];
       adj_arr = None;
     }
+
+  (* Rewind to an empty network on [n] vertices, keeping the flat
+     cap/flow/dst arrays (and the adjacency array when large enough) so a
+     round loop can rebuild without reallocating. *)
+  let clear g ~n =
+    if n < 0 then invalid_arg "Maxflow.clear: negative vertex count";
+    if n > Array.length g.adj then
+      g.adj <- Array.make (max n (2 * Array.length g.adj)) []
+    else Array.fill g.adj 0 (Array.length g.adj) [];
+    g.n <- n;
+    g.m <- 0;
+    g.adj_arr <- None
 
   let ensure_capacity g needed =
     let len = Array.length g.cap in
@@ -86,8 +104,111 @@ module Make (F : Ss_numeric.Field.S) = struct
       g.flow.(e) <- F.zero
     done
 
-  (* Dinic: BFS level graph, then DFS blocking flow with arc pointers. *)
-  let dinic g ~source ~sink =
+  (* Change the capacity of an existing forward edge without touching the
+     (frozen) adjacency.  The installed flow is left as-is: if it now
+     exceeds the new capacity the caller must repair it, e.g. with
+     [reduce_to_capacity]. *)
+  let set_capacity g e ~cap =
+    if e < 0 || e >= g.m || e land 1 <> 0 then
+      invalid_arg "Maxflow.set_capacity: not a forward edge id";
+    if F.sign cap < 0 then invalid_arg "Maxflow.set_capacity: negative capacity";
+    g.cap.(e) <- cap
+
+  (* --- warm-start repair primitives ----------------------------------
+     Both walkers follow edges currently carrying flow.  They assume the
+     installed flow is acyclic — true for every network the offline solver
+     builds (source -> job -> interval -> sink is a layered DAG) — and fail
+     loudly after n steps otherwise instead of looping. *)
+
+  (* Forward edges of a flow-carrying path source -> v, in path order. *)
+  let backward_path g ~source v =
+    let adj = adjacency g in
+    let rec go v acc steps =
+      if v = source then acc
+      else begin
+        if steps > g.n then failwith "Maxflow: cyclic flow in backward walk";
+        let found = ref (-1) in
+        Array.iter
+          (fun e -> if !found < 0 && e land 1 = 1 && F.sign g.flow.(e lxor 1) > 0 then found := e)
+          adj.(v);
+        if !found < 0 then failwith "Maxflow: no flow-carrying edge into vertex";
+        go g.dst.(!found) (!found lxor 1 :: acc) (steps + 1)
+      end
+    in
+    go v [] 0
+
+  (* Forward edges of a flow-carrying path v -> sink, in path order. *)
+  let forward_path g ~sink v =
+    let adj = adjacency g in
+    let rec go v acc steps =
+      if v = sink then List.rev acc
+      else begin
+        if steps > g.n then failwith "Maxflow: cyclic flow in forward walk";
+        let found = ref (-1) in
+        Array.iter
+          (fun e -> if !found < 0 && e land 1 = 0 && F.sign g.flow.(e) > 0 then found := e)
+          adj.(v);
+        if !found < 0 then failwith "Maxflow: no flow-carrying edge out of vertex";
+        go g.dst.(!found) (!found :: acc) (steps + 1)
+      end
+    in
+    go v [] 0
+
+  let cancel_along g path amount =
+    List.iter (fun e -> push g e (F.neg amount)) path
+
+  (* Drain every unit of flow passing through [vertex] by repeated
+     source->vertex->sink path decomposition; conservation everywhere else
+     is preserved.  Returns the total amount drained. *)
+  let cancel_through g ~source ~sink ~vertex =
+    if vertex = source || vertex = sink then
+      invalid_arg "Maxflow.cancel_through: vertex is source or sink";
+    let adj = adjacency g in
+    let drained = ref F.zero in
+    let continue = ref true in
+    while !continue do
+      let out = ref (-1) in
+      Array.iter
+        (fun e -> if !out < 0 && e land 1 = 0 && F.sign g.flow.(e) > 0 then out := e)
+        adj.(vertex);
+      if !out < 0 then continue := false
+      else begin
+        let path =
+          backward_path g ~source vertex @ (!out :: forward_path g ~sink g.dst.(!out))
+        in
+        let b = List.fold_left (fun m e -> F.min m g.flow.(e)) g.flow.(!out) path in
+        cancel_along g path b;
+        drained := F.add !drained b
+      end
+    done;
+    !drained
+
+  (* After a capacity shrink, cancel just enough source->sink paths through
+     edge [e] to restore flow.(e) <= cap.(e).  Returns the amount
+     cancelled.  Each iteration zeroes a path edge or clears the excess, so
+     it terminates in at most m rounds. *)
+  let reduce_to_capacity g ~source ~sink e =
+    if e < 0 || e >= g.m || e land 1 <> 0 then
+      invalid_arg "Maxflow.reduce_to_capacity: not a forward edge id";
+    let removed = ref F.zero in
+    while F.sign (F.sub g.flow.(e) g.cap.(e)) > 0 do
+      let excess = F.sub g.flow.(e) g.cap.(e) in
+      let tail = g.dst.(e lxor 1) and head = g.dst.(e) in
+      let up = if tail = source then [] else backward_path g ~source tail in
+      let down = if head = sink then [] else forward_path g ~sink head in
+      let path = up @ (e :: down) in
+      let b = List.fold_left (fun m e' -> F.min m g.flow.(e')) excess path in
+      if F.sign b <= 0 then failwith "Maxflow.reduce_to_capacity: stuck";
+      cancel_along g path b;
+      removed := F.add !removed b
+    done;
+    !removed
+
+  (* Dinic: BFS level graph, then DFS blocking flow with arc pointers.
+     Augments the *installed* flow (which is zero on a fresh network): run
+     via [dinic_resume] after a repair to continue from a feasible flow
+     rather than from scratch.  Returns the amount added. *)
+  let dinic_resume g ~source ~sink =
     if source = sink then invalid_arg "Maxflow.dinic: source = sink";
     let adj = adjacency g in
     let level = Array.make g.n (-1) in
@@ -138,7 +259,7 @@ module Make (F : Ss_numeric.Field.S) = struct
     in
     (* An upper bound on any augmentation: total capacity out of source. *)
     let infinity_ =
-      Array.fold_left (fun acc e -> F.add acc g.cap.(e)) F.one (adjacency g).(source)
+      Array.fold_left (fun acc e -> F.add acc g.cap.(e)) F.one adj.(source)
     in
     let total = ref F.zero in
     while bfs () do
@@ -153,6 +274,8 @@ module Make (F : Ss_numeric.Field.S) = struct
       drain ()
     done;
     !total
+
+  let dinic = dinic_resume
 
   (* Edmonds–Karp: BFS shortest augmenting paths.  Slower; used only to
      cross-check Dinic in tests. *)
@@ -270,8 +393,8 @@ module Make (F : Ss_numeric.Field.S) = struct
       in_queue.(v) <- false;
       let continue = ref true in
       while !continue && positive excess.(v) do
-        (* Push along admissible edges. *)
-        let pushed = ref false in
+        (* Push along admissible edges; if excess survives a full sweep,
+           every admissible edge is saturated, so a relabel is due. *)
         Array.iter
           (fun e ->
             if positive excess.(v) then begin
@@ -282,16 +405,14 @@ module Make (F : Ss_numeric.Field.S) = struct
                 excess.(v) <- F.sub excess.(v) amount;
                 let u = g.dst.(e) in
                 excess.(u) <- F.add excess.(u) amount;
-                activate u;
-                pushed := true
+                activate u
               end
             end)
           adj.(v);
         if positive excess.(v) then begin
           if height.(v) >= 2 * n then continue := false
           else relabel v
-        end;
-        ignore !pushed
+        end
       done
     done;
     (* Flow value = excess accumulated at the sink. *)

@@ -12,14 +12,44 @@ module Make (F : Ss_numeric.Field.S) : sig
   val create : n:int -> t
   (** A network on vertices [0 .. n-1] with no edges. *)
 
+  val clear : t -> n:int -> unit
+  (** Rewind to an empty network on [n] vertices, reusing the already
+      allocated edge arrays (an arena for round loops that rebuild similar
+      networks repeatedly). *)
+
   val add_edge : t -> src:int -> dst:int -> cap:F.t -> int
   (** Adds a directed edge and returns its id.
       @raise Invalid_argument on out-of-range vertices or negative
       capacity. *)
 
+  val set_capacity : t -> int -> cap:F.t -> unit
+  (** Change the capacity of an existing forward edge in place, keeping the
+      frozen adjacency.  Does not touch the installed flow: shrink below
+      the current flow only in tandem with {!reduce_to_capacity}.
+      @raise Invalid_argument on a non-forward edge id or negative
+      capacity. *)
+
   val dinic : t -> source:int -> sink:int -> F.t
   (** Maximum flow via blocking flows; flows are left installed on the
-      edges. *)
+      edges.  Augments from the installed flow (zero on a fresh network)
+      and returns the amount added. *)
+
+  val dinic_resume : t -> source:int -> sink:int -> F.t
+  (** Alias of {!dinic} that makes warm starts explicit at call sites:
+      continue from the currently installed (feasible) flow after a repair
+      and return only the {e additional} flow pushed.  Use {!flow_value}
+      for the resulting total. *)
+
+  val cancel_through : t -> source:int -> sink:int -> vertex:int -> F.t
+  (** Drain all flow passing through [vertex] by cancelling source→sink
+      path decompositions; returns the amount drained.  Requires the
+      installed flow to be acyclic (always true on the layered scheduling
+      networks); conservation at all other vertices is preserved. *)
+
+  val reduce_to_capacity : t -> source:int -> sink:int -> int -> F.t
+  (** After a capacity shrink on edge [e], cancel just enough source→sink
+      flow through [e] to restore [flow <= cap]; returns the amount
+      cancelled (zero if the edge was already within capacity). *)
 
   val edmonds_karp : t -> source:int -> sink:int -> F.t
   (** Independent max-flow implementation (shortest augmenting paths);

@@ -1,0 +1,1 @@
+test/test_incremental.ml: Alcotest Array Float List Printf Ss_core Ss_model Ss_numeric Ss_workload

@@ -47,6 +47,29 @@ let test_exception_propagates () =
   | exception e -> Alcotest.failf "wrong exception %s" (Printexc.to_string e)
   | _ -> Alcotest.fail "expected exception"
 
+(* Regression: once a worker captures an error, the remaining indices are
+   skipped and their result slots stay [None]; [map] must re-raise the
+   stored exception *before* reading the slots, so the caller sees the
+   worker's exception and never the internal "Pool.map: missing result"
+   failure. *)
+let test_error_skips_remaining_without_leak () =
+  let arr = Array.init 5000 Fun.id in
+  match Pool.map ~domains:4 (fun x -> if x = 7 then raise (Boom x) else x) arr with
+  | exception Boom 7 -> ()
+  | exception Failure msg -> Alcotest.failf "missing-result leak: %s" msg
+  | exception e -> Alcotest.failf "wrong exception %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "expected Boom 7"
+
+(* Regression: [mapi] must deliver each index to the worker function and
+   land every output at its input's slot, whatever the domain count. *)
+let test_mapi_preserves_index_order () =
+  let arr = Array.init 257 (fun i -> 1000 + i) in
+  let got = Pool.mapi ~domains:4 (fun i x -> (i, x)) arr in
+  Alcotest.(check int) "length" 257 (Array.length got);
+  Array.iteri
+    (fun i (j, x) -> Alcotest.(check (pair int int)) "indexed" (i, 1000 + i) (j, x))
+    got
+
 let test_default_domains () =
   check_bool "at least one" true (Pool.default_domains () >= 1);
   check_bool "bounded" true (Pool.default_domains () <= 8)
@@ -85,6 +108,10 @@ let () =
           Alcotest.test_case "map_reduce" `Quick test_map_reduce;
           Alcotest.test_case "all" `Quick test_all;
           Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+          Alcotest.test_case "error skips remaining, no missing-result leak" `Quick
+            test_error_skips_remaining_without_leak;
+          Alcotest.test_case "mapi preserves index order under domains" `Quick
+            test_mapi_preserves_index_order;
           Alcotest.test_case "default domains" `Quick test_default_domains;
           Alcotest.test_case "scheduling work" `Quick test_deterministic_scheduling_work;
         ] );

@@ -1,0 +1,201 @@
+(* The tentpole guarantee of the incremental round loop: warm-started runs
+   are observationally identical to the paper-literal from-scratch runs.
+
+   (a) Incremental and from-scratch agree on phase members, speeds, procs
+       and total energy — and, because the accepted flow is re-extracted
+       canonically, on the alloc (t_kj) bit for bit — across generators,
+       seeds, machine counts, both field instantiations, and the
+       flow-algorithm × victim-rule ablation grid.
+   (b) Flow.audit reports no violations after every warm-started resume
+       (checked through the [on_flow] hook, which fires after each round's
+       max-flow answer). *)
+
+module Offline = Ss_core.Offline
+module Job = Ss_model.Job
+module Power = Ss_model.Power
+module Rational = Ss_numeric.Rational
+
+let close ?(tol = 1e-9) msg expected actual =
+  let t = tol *. (1. +. Float.abs expected) in
+  if Float.abs (expected -. actual) > t then
+    Alcotest.failf "%s: expected %.15g, got %.15g" msg expected actual
+
+let float_jobs (inst : Job.instance) =
+  Array.map
+    (fun (j : Job.t) -> { Offline.F.release = j.release; deadline = j.deadline; work = j.work })
+    inst.jobs
+
+let exact_jobs (inst : Job.instance) =
+  Array.map
+    (fun (j : Job.t) ->
+      {
+        Offline.Exact.release = Rational.of_float j.release;
+        deadline = Rational.of_float j.deadline;
+        work = Rational.of_float j.work;
+      })
+    inst.jobs
+
+(* Phase-for-phase agreement of two float runs, alloc included. *)
+let check_float_agree name (scr : Offline.F.run) (inc : Offline.F.run) =
+  Alcotest.(check int)
+    (name ^ ": phase count")
+    (List.length scr.schedule_phases)
+    (List.length inc.schedule_phases);
+  List.iteri
+    (fun idx ((a : Offline.F.phase), (b : Offline.F.phase)) ->
+      let tag = Printf.sprintf "%s: phase %d" name idx in
+      Alcotest.(check (list int)) (tag ^ " members") a.members b.members;
+      close (tag ^ " speed") ~tol:0. a.speed b.speed;
+      Alcotest.(check (array int)) (tag ^ " procs") a.procs b.procs;
+      Alcotest.(check (list (triple int int (float 0.))))
+        (tag ^ " alloc") a.alloc b.alloc)
+    (List.combine scr.schedule_phases inc.schedule_phases);
+  let energy r = Offline.energy_of_run (Power.alpha 3.) r in
+  close (name ^ ": energy") ~tol:0. (energy scr) (energy inc);
+  Alcotest.(check int) (name ^ ": scratch never resumes") 0 scr.stats.resumes
+
+let run_float ?flow_algorithm ?victim_rule ~incremental (inst : Job.instance) =
+  Offline.F.solve ?flow_algorithm ?victim_rule ~incremental ~machines:inst.machines
+    (float_jobs inst)
+
+let instance_mix seed machines =
+  [
+    ( Printf.sprintf "uniform s=%d m=%d" seed machines,
+      Ss_workload.Generators.uniform ~seed ~machines ~jobs:12 ~horizon:18. ~max_work:4. () );
+    ( Printf.sprintf "poisson s=%d m=%d" seed machines,
+      Ss_workload.Generators.poisson ~seed:(seed + 500) ~machines ~jobs:12 ~rate:1.1
+        ~mean_work:2.5 ~slack:2.2 () );
+  ]
+
+let test_float_matrix () =
+  List.iter
+    (fun machines ->
+      List.iter
+        (fun seed ->
+          List.iter
+            (fun (name, inst) ->
+              let scr = run_float ~incremental:false inst in
+              let inc = run_float ~incremental:true inst in
+              check_float_agree name scr inc)
+            (instance_mix seed machines))
+        [ 11; 12; 13 ])
+    [ 1; 2; 4; 8 ]
+
+let test_float_ablation_grid () =
+  let inst =
+    Ss_workload.Generators.uniform ~seed:21 ~machines:4 ~jobs:14 ~horizon:20. ~max_work:4. ()
+  in
+  List.iter
+    (fun flow_algorithm ->
+      List.iter
+        (fun victim_rule ->
+          let name =
+            Printf.sprintf "algo=%s rule=%s"
+              (match flow_algorithm with
+              | Offline.F.Dinic -> "dinic"
+              | Offline.F.Edmonds_karp -> "ek"
+              | Offline.F.Push_relabel -> "pr")
+              (match victim_rule with
+              | Offline.F.Least_flow -> "least"
+              | Offline.F.First_found -> "first")
+          in
+          let scr = run_float ~flow_algorithm ~victim_rule ~incremental:false inst in
+          let inc = run_float ~flow_algorithm ~victim_rule ~incremental:true inst in
+          check_float_agree name scr inc)
+        [ Offline.F.Least_flow; Offline.F.First_found ])
+    [ Offline.F.Dinic; Offline.F.Edmonds_karp; Offline.F.Push_relabel ]
+
+(* Exact-rational replay: the same agreement with zero tolerance, plus
+   certification that the float incremental run found the right speeds. *)
+let test_exact_agree () =
+  List.iter
+    (fun (machines, seed) ->
+      let inst =
+        Ss_workload.Generators.uniform ~seed ~machines ~jobs:8 ~horizon:12. ~max_work:4. ()
+      in
+      let jobs = exact_jobs inst in
+      let scr = Offline.Exact.solve ~incremental:false ~machines jobs in
+      let inc = Offline.Exact.solve ~incremental:true ~machines jobs in
+      Alcotest.(check int) "exact: phase count"
+        (List.length scr.schedule_phases)
+        (List.length inc.schedule_phases);
+      List.iter2
+        (fun (a : Offline.Exact.phase) (b : Offline.Exact.phase) ->
+          Alcotest.(check (list int)) "exact: members" a.members b.members;
+          Alcotest.(check bool) "exact: speed (exact equality)" true
+            (Rational.Field.equal a.speed b.speed);
+          Alcotest.(check (array int)) "exact: procs" a.procs b.procs;
+          Alcotest.(check int) "exact: alloc length" (List.length a.alloc)
+            (List.length b.alloc);
+          List.iter2
+            (fun (i, j, t) (i', j', t') ->
+              Alcotest.(check (pair int int)) "exact: alloc cell" (i, j) (i', j');
+              Alcotest.(check bool) "exact: alloc time (exact equality)" true
+                (Rational.Field.equal t t'))
+            a.alloc b.alloc)
+        scr.schedule_phases inc.schedule_phases;
+      (* Certify the float incremental run against the exact one. *)
+      let f = run_float ~incremental:true inst in
+      List.iter2
+        (fun (a : Offline.F.phase) (b : Offline.Exact.phase) ->
+          close "float-vs-exact speed" a.speed (Rational.to_float b.speed))
+        f.schedule_phases inc.schedule_phases)
+    [ (1, 31); (2, 32); (2, 33); (4, 34) ]
+
+(* (b) every warm-started round leaves a feasible flow installed. *)
+let test_audit_after_resume () =
+  List.iter
+    (fun (name, inst) ->
+      let audited = ref 0 in
+      let run =
+        Offline.F.solve ~incremental:true ~machines:inst.Job.machines
+          ~on_flow:(fun g ->
+            incr audited;
+            match Offline.F.Flow.audit g ~source:0 ~sink:1 with
+            | [] -> ()
+            | violations ->
+              Alcotest.failf "%s: %d flow violations after round %d" name
+                (List.length violations) !audited)
+          (float_jobs inst)
+      in
+      Alcotest.(check int) (name ^ ": hook fired once per round") run.stats.rounds !audited;
+      Alcotest.(check bool) (name ^ ": warm starts actually exercised") true
+        (run.stats.resumes > 0))
+    [
+      ( "uniform n=20 m=4",
+        Ss_workload.Generators.uniform ~seed:41 ~machines:4 ~jobs:20 ~horizon:30. ~max_work:5. () );
+      ( "poisson n=16 m=2",
+        Ss_workload.Generators.poisson ~seed:42 ~machines:2 ~jobs:16 ~rate:1.3 ~mean_work:2.
+          ~slack:2.5 () );
+    ]
+
+(* The top-level pipeline agrees too (schedule energy is what users see). *)
+let test_pipeline_energy_agrees () =
+  let p3 = Power.alpha 3. in
+  List.iter
+    (fun seed ->
+      let inst =
+        Ss_workload.Generators.uniform ~seed ~machines:4 ~jobs:15 ~horizon:22. ~max_work:4. ()
+      in
+      let s_inc, i_inc = Offline.solve ~incremental:true inst in
+      let s_scr, i_scr = Offline.solve ~incremental:false inst in
+      close "pipeline energy" ~tol:0.
+        (Ss_model.Schedule.energy p3 s_scr)
+        (Ss_model.Schedule.energy p3 s_inc);
+      Alcotest.(check int) "pipeline phases" i_scr.phases i_inc.phases;
+      Alcotest.(check int) "scratch pipeline resumes" 0 i_scr.resumes)
+    [ 51; 52; 53 ]
+
+let () =
+  Alcotest.run "incremental"
+    [
+      ( "agreement",
+        [
+          Alcotest.test_case "float matrix (generators x seeds x m)" `Quick test_float_matrix;
+          Alcotest.test_case "flow-algorithm x victim-rule grid" `Quick test_float_ablation_grid;
+          Alcotest.test_case "exact-rational replay" `Slow test_exact_agree;
+          Alcotest.test_case "pipeline energy" `Quick test_pipeline_energy_agrees;
+        ] );
+      ( "audit",
+        [ Alcotest.test_case "feasible flow after every resume" `Quick test_audit_after_resume ] );
+    ]
