@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-json bench-smoke tables micro examples clean
+.PHONY: all build test bench bench-json bench-smoke perf-diff tables micro examples clean
 
 all: build
 
@@ -20,13 +20,21 @@ bench-output:
 	dune exec bench/main.exe 2>&1 | tee bench_output.txt
 
 # Machine-readable perf snapshot (per-benchmark ns/run + solver round and
-# resume counters); regenerates BENCH_1.json for the perf trajectory.
+# resume counters + the online scratch-vs-session section); regenerates
+# BENCH_2.json for the perf trajectory.
 bench-json:
-	dune exec bench/main.exe -- micro --json BENCH_1.json
+	dune exec bench/main.exe -- micro --json BENCH_2.json
 
 # Tiny-quota run of the same pipeline (also wired into `dune runtest`).
 bench-smoke:
 	dune build @bench-smoke
+
+# Compare two bench snapshots without jq; exits 1 on a >25% regression.
+#   make perf-diff OLD=BENCH_1.json NEW=BENCH_2.json
+OLD ?= BENCH_1.json
+NEW ?= BENCH_2.json
+perf-diff:
+	dune exec tools/perf_diff.exe -- $(OLD) $(NEW)
 
 tables:
 	dune exec bench/main.exe -- tables

@@ -120,7 +120,40 @@ let solver_counters ~smoke =
       (name, r.stats, t_scratch, t_inc))
     specs
 
-let emit_json ~file ~mode rows counters =
+(* End-to-end OA(m) replanning: the scratch path (fresh solver and full
+   materialization per arrival) against the cross-arrival session path,
+   plus the session's reuse ledger — the numbers behind the perf_opt
+   acceptance criterion. *)
+let online_counters ~smoke =
+  let specs =
+    if smoke then [ ("oa/n=15,m=4", 4, 15) ]
+    else [ ("oa/n=15,m=4", 4, 15); ("oa/n=60,m=4", 11, 60) ]
+  in
+  List.map
+    (fun (name, seed, jobs) ->
+      let inst =
+        Ss_workload.Generators.poisson ~seed ~machines:4 ~jobs ~rate:1.2 ~mean_work:2.5
+          ~slack:2.5 ()
+      in
+      (* Each simulation is ~1ms, so time 5-run batches (median of 9)
+         after a warm-up lap; per-run medians at this scale are dominated
+         by timer granularity and first-touch noise. *)
+      let batch = 5 in
+      let timed incremental =
+        ignore (Ss_online.Oa.run ~incremental inst);
+        Ss_experiments.Common.time_median ~repeats:9 (fun () ->
+            for _ = 1 to batch do
+              ignore (Ss_online.Oa.run ~incremental inst)
+            done)
+        /. float_of_int batch
+      in
+      let t_scratch = timed false in
+      let t_session = timed true in
+      let _, info = Ss_online.Oa.run ~incremental:true inst in
+      (name, info, t_scratch, t_session))
+    specs
+
+let emit_json ~file ~mode rows counters online =
   let open Ss_numeric.Json in
   let num x = if Float.is_finite x then Num x else Null in
   let benchmarks =
@@ -146,6 +179,26 @@ let emit_json ~file ~mode rows counters =
              ])
          counters)
   in
+  let online_section =
+    Arr
+      (List.map
+         (fun (name, (i : Ss_online.Oa.info), t_scratch, t_session) ->
+           Obj
+             [
+               ("instance", Str name);
+               ("replans", Num (float_of_int i.replans));
+               ("rounds", Num (float_of_int i.total_rounds));
+               ("resumes", Num (float_of_int i.resumes));
+               ("grouped_rounds", Num (float_of_int i.grouped_rounds));
+               ("carried_jobs", Num (float_of_int i.carried_jobs));
+               ("monotone_carried", Num (float_of_int i.monotone_carried));
+               ("arena_grows", Num (float_of_int i.arena_grows));
+               ("scratch_ms", num t_scratch);
+               ("session_ms", num t_session);
+               ("speedup", num (t_scratch /. Float.max 1e-9 t_session));
+             ])
+         online)
+  in
   let doc =
     Obj
       [
@@ -153,6 +206,7 @@ let emit_json ~file ~mode rows counters =
         ("mode", Str mode);
         ("benchmarks", benchmarks);
         ("solver", solver);
+        ("online", online_section);
       ]
   in
   Out_channel.with_open_text file (fun oc ->
@@ -203,7 +257,9 @@ let run_micro ?json_file ?(smoke = false) () =
   match json_file with
   | None -> ()
   | Some file ->
-    emit_json ~file ~mode:(if smoke then "smoke" else "micro") rows (solver_counters ~smoke)
+    emit_json ~file
+      ~mode:(if smoke then "smoke" else "micro")
+      rows (solver_counters ~smoke) (online_counters ~smoke)
 
 let usage () =
   Printf.printf "usage: main.exe [tables | micro | smoke | <experiment id>] [--json FILE]\n";

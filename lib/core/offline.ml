@@ -20,8 +20,15 @@
    The module is a functor over an ordered field: instantiated at floats
    for speed and at exact rationals to certify the float run. *)
 
-module Make (F : Ss_numeric.Field.S) = struct
-  module Flow = Ss_flow.Maxflow.Make (F)
+(* The solver is functorized over the field AND the flow substrate: the
+   float instance below plugs in [Maxflow.Float], whose hot path is
+   monomorphized (unboxed float arrays), while [Make] keeps the generic
+   pairing for exact-rational certification. *)
+module MakeWith
+    (F : Ss_numeric.Field.S)
+    (Flow_impl : module type of Ss_flow.Maxflow.Make (F)) =
+struct
+  module Flow = Flow_impl
 
   type job = { release : F.t; deadline : F.t; work : F.t }
 
@@ -46,6 +53,7 @@ module Make (F : Ss_numeric.Field.S) = struct
     rounds : int;                   (* max-flow computations *)
     resumes : int;                  (* rounds answered by a warm-started resume *)
     removals : int;
+    grouped : int;                  (* failed rounds that removed > 1 victim *)
   }
 
   type run = {
@@ -66,6 +74,93 @@ module Make (F : Ss_numeric.Field.S) = struct
       |> List.sort_uniq F.compare
     in
     Array.of_list all
+
+  (* --- reusable solver workspace ---------------------------------------
+     Everything a solve allocates per call — the Lemma 3 reservation state,
+     the vertex/edge id tables and the flow arena — hoisted into a grow-only
+     workspace so cross-arrival sessions reuse one backing store across
+     successive solves.  All arrays are addressed on prefixes [0..n-1] /
+     [0..k-1] and re-initialized by each solve, so reuse never leaks state
+     between solves (and a fresh workspace per call reproduces the
+     non-session behaviour exactly). *)
+  type workspace = {
+    mutable g : Flow.t;
+    mutable nslots : int;           (* job-indexed array capacity *)
+    mutable kslots : int;           (* interval-indexed array capacity *)
+    mutable widths : F.t array;
+    mutable first_ivl : int array;
+    mutable last_ivl : int array;
+    mutable used : int array;
+    mutable remaining : bool array;
+    mutable candidate : bool array;
+    mutable victim_mark : bool array;
+    mutable nj : int array;
+    mutable procs : int array;
+    mutable job_vertex : int array;
+    mutable ivl_vertex : int array;
+    mutable source_edge : int array;
+    mutable sink_edge : int array;
+    mutable job_edge : int array;   (* flat [i * k + j] edge ids, -1 = absent *)
+    mutable grows : int;            (* solves that had to grow the arena *)
+  }
+
+  let make_workspace () =
+    {
+      g = Flow.create ~n:2;
+      nslots = 0;
+      kslots = 0;
+      widths = [||];
+      first_ivl = [||];
+      last_ivl = [||];
+      used = [||];
+      remaining = [||];
+      candidate = [||];
+      victim_mark = [||];
+      nj = [||];
+      procs = [||];
+      job_vertex = [||];
+      ivl_vertex = [||];
+      source_edge = [||];
+      sink_edge = [||];
+      job_edge = [||];
+      grows = 0;
+    }
+
+  (* Grow (never shrink) the workspace to fit an [n]-job, [k]-interval
+     solve, pre-sizing the flow arena for the worst-case Fig. 1 network so
+     the round loop triggers no allocation. *)
+  let ws_fit ws ~n ~k =
+    let grew = ref false in
+    if n > ws.nslots then begin
+      let n' = max n (2 * ws.nslots) in
+      ws.first_ivl <- Array.make n' 0;
+      ws.last_ivl <- Array.make n' 0;
+      ws.remaining <- Array.make n' false;
+      ws.candidate <- Array.make n' false;
+      ws.victim_mark <- Array.make n' false;
+      ws.job_vertex <- Array.make n' (-1);
+      ws.source_edge <- Array.make n' (-1);
+      ws.nslots <- n';
+      grew := true
+    end;
+    if k > ws.kslots then begin
+      let k' = max k (2 * ws.kslots) in
+      ws.widths <- Array.make k' F.zero;
+      ws.used <- Array.make k' 0;
+      ws.nj <- Array.make k' 0;
+      ws.procs <- Array.make k' 0;
+      ws.ivl_vertex <- Array.make k' (-1);
+      ws.sink_edge <- Array.make k' (-1);
+      ws.kslots <- k';
+      grew := true
+    end;
+    if n * k > Array.length ws.job_edge then begin
+      ws.job_edge <- Array.make (max (n * k) (2 * Array.length ws.job_edge)) (-1);
+      grew := true
+    end;
+    if Flow.reserve ws.g ~vertices:(n + k + 2) ~edges:(n + k + (n * k)) then
+      grew := true;
+    if !grew then ws.grows <- ws.grows + 1
 
   (* The round loop.
 
@@ -89,16 +184,32 @@ module Make (F : Ss_numeric.Field.S) = struct
      repair keeps the arena and capacity updates but recomputes the flow
      from zero.
 
-     Both modes visit candidate sets with identical reservations and
+     A third strategy, [Rewind] (what sessions use), keeps the phase's
+     network topology but answers each failed round from zero flow: zero
+     the victims' source capacities, refresh the sink/source capacities
+     that moved, reset all flows and rerun the max-flow.  A zero-capacity
+     edge has zero residual, so no traversal ever takes it: BFS levels,
+     the DFS augmenting sequence over live edges, and hence every edge
+     flow are bit-for-bit what a rebuild without the victims would
+     produce.  Rewound rounds are therefore canonical already and need no
+     acceptance re-extraction, while still skipping the per-round rebuild
+     cost.  At replanning scale (small Fig. 1 networks) this beats the
+     repair-and-resume path, whose per-victim path cancellations cost
+     more than a fresh Dinic run.
+
+     All strategies visit candidate sets with identical reservations and
      speeds; the max-flow *value* per round is unique, so accept/reject
      decisions agree and the final phase partition, speeds and energy are
      identical.  Warm-started flow *distributions* may differ mid-phase
      (affecting victim order and round counts, all sound by Lemma 4), but
      the accepted flow is re-extracted canonically — rebuilt and solved
      from zero, once per phase-with-removals — so the t_kj a run exposes
-     are bit-identical between the two modes. *)
-  let solve ?(flow_algorithm = Dinic) ?(victim_rule = Least_flow)
-      ?(incremental = true) ?on_flow ~machines (jobs : job array) =
+     are bit-identical between the modes. *)
+  type round_strategy = Resume | Rebuild | Rewind
+
+  let solve_in ?(flow_algorithm = Dinic) ?(victim_rule = Least_flow)
+      ?(strategy = Resume) ?(group_removal = false) ?on_flow ~ws ~machines
+      (jobs : job array) =
     if machines <= 0 then invalid_arg "Offline.solve: machines <= 0";
     Array.iter
       (fun j ->
@@ -109,7 +220,11 @@ module Make (F : Ss_numeric.Field.S) = struct
     let n = Array.length jobs in
     let breakpoints = sort_uniq_times jobs in
     let k = Array.length breakpoints - 1 in
-    let widths = Array.init k (fun j -> F.sub breakpoints.(j + 1) breakpoints.(j)) in
+    ws_fit ws ~n ~k;
+    let widths = ws.widths in
+    for j = 0 to k - 1 do
+      widths.(j) <- F.sub breakpoints.(j + 1) breakpoints.(j)
+    done;
     (* Every release and deadline is a breakpoint, so job i is active on
        the contiguous interval range [index(release), index(deadline) - 1]:
        computed once by binary search, replacing the per-round O(n k)
@@ -122,54 +237,63 @@ module Make (F : Ss_numeric.Field.S) = struct
       done;
       !lo
     in
-    let first_ivl = Array.map (fun j -> index_of j.release) jobs in
-    let last_ivl = Array.map (fun j -> index_of j.deadline - 1) jobs in
+    let first_ivl = ws.first_ivl and last_ivl = ws.last_ivl in
+    for i = 0 to n - 1 do
+      first_ivl.(i) <- index_of jobs.(i).release;
+      last_ivl.(i) <- index_of jobs.(i).deadline - 1
+    done;
     let is_active i j = first_ivl.(i) <= j && j <= last_ivl.(i) in
     (* Processors already reserved by earlier (faster) phases. *)
-    let used = Array.make k 0 in
-    let remaining = Array.make n true in
+    let used = ws.used in
+    Array.fill used 0 k 0;
+    let remaining = ws.remaining in
+    Array.fill remaining 0 n true;
     let remaining_count = ref n in
     let phases = ref [] in
     let rounds = ref 0 in
     let resumes = ref 0 in
     let removals = ref 0 in
+    let grouped = ref 0 in
     let phase_count = ref 0 in
     (* One arena for every round of every phase; [Flow.clear] keeps the
        allocations.  [job_edge] is a flat [i * k + j] edge-id table
        (-1 = absent): no hashing in the inner loop, and extraction walks it
        in deterministic index order. *)
-    let g = Flow.create ~n:2 in
-    let job_vertex = Array.make n (-1) in
-    let ivl_vertex = Array.make k (-1) in
-    let source_edge = Array.make n (-1) in
-    let sink_edge = Array.make k (-1) in
-    let job_edge = Array.make (n * k) (-1) in
+    let g = ws.g in
+    let job_vertex = ws.job_vertex in
+    let ivl_vertex = ws.ivl_vertex in
+    let source_edge = ws.source_edge in
+    let sink_edge = ws.sink_edge in
+    let job_edge = ws.job_edge in
     while !remaining_count > 0 do
       incr phase_count;
-      (* Candidate set for this phase; shrinks by one job per failed
-         round. *)
-      let candidate = Array.copy remaining in
+      (* Candidate set for this phase; shrinks by the removed victims of
+         each failed round. *)
+      let candidate = ws.candidate in
+      Array.blit remaining 0 candidate 0 n;
       let cand_count = ref !remaining_count in
       (* Lemma 3 reservation state, maintained incrementally: n_j only
          changes on a removed victim's active range. *)
-      let nj = Array.make k 0 in
+      let nj = ws.nj in
+      Array.fill nj 0 k 0;
       for i = 0 to n - 1 do
         if candidate.(i) then
           for j = first_ivl.(i) to last_ivl.(i) do
             nj.(j) <- nj.(j) + 1
           done
       done;
-      let procs = Array.make k 0 in
+      let procs = ws.procs in
       for j = 0 to k - 1 do
         procs.(j) <- min nj.(j) (machines - used.(j))
       done;
       (* Full resummation each round (not delta updates) keeps the float
          rounding identical between incremental and from-scratch runs. *)
       let current_totals () =
-        let time =
-          Array.to_list (Array.init k (fun j -> F.mul (F.of_int procs.(j)) widths.(j)))
-          |> List.fold_left F.add F.zero
-        in
+        let time = ref F.zero in
+        for j = 0 to k - 1 do
+          time := F.add !time (F.mul (F.of_int procs.(j)) widths.(j))
+        done;
+        let time = !time in
         let work = ref F.zero in
         for i = 0 to n - 1 do
           if candidate.(i) then work := F.add !work jobs.(i).work
@@ -205,7 +329,14 @@ module Make (F : Ss_numeric.Field.S) = struct
         Array.fill ivl_vertex 0 k (-1);
         Array.fill source_edge 0 n (-1);
         Array.fill sink_edge 0 k (-1);
-        Array.fill job_edge 0 (n * k) (-1);
+        (* Only candidate rows of the flat edge table are ever read (and
+           only on the job's active span), so only those need resetting. *)
+        for i = 0 to n - 1 do
+          if candidate.(i) then
+            Array.fill job_edge ((i * k) + first_ivl.(i))
+              (last_ivl.(i) - first_ivl.(i) + 1)
+              (-1)
+        done;
         let next = ref 2 in
         for i = 0 to n - 1 do
           if candidate.(i) then begin
@@ -247,18 +378,26 @@ module Make (F : Ss_numeric.Field.S) = struct
           | Edmonds_karp -> Flow.edmonds_karp g ~source:0 ~sink:1
           | Push_relabel -> Flow.push_relabel g ~source:0 ~sink:1)
       in
-      (* Lemma 4 removal repair: drain the victim, shrink the capacities
+      (* Lemma 4 removal repair: drain the victims, shrink the capacities
          that moved, cancel any flow a shrink stranded above its capacity,
-         and continue the max-flow from the repaired feasible flow. *)
-      let repair_and_resume victim =
-        ignore (Flow.cancel_through g ~source:0 ~sink:1 ~vertex:job_vertex.(victim));
-        Flow.set_capacity g source_edge.(victim) ~cap:F.zero;
-        for j = first_ivl.(victim) to last_ivl.(victim) do
-          if sink_edge.(j) >= 0 then begin
-            Flow.set_capacity g sink_edge.(j) ~cap:(F.mul (F.of_int procs.(j)) widths.(j));
-            ignore (Flow.reduce_to_capacity g ~source:0 ~sink:1 sink_edge.(j))
-          end
-        done;
+         and continue the max-flow from the repaired feasible flow.  The
+         reservation state ([procs]) must already reflect the removals. *)
+      let repair_and_resume victims =
+        List.iter
+          (fun victim ->
+            ignore (Flow.cancel_through g ~source:0 ~sink:1 ~vertex:job_vertex.(victim));
+            Flow.set_capacity g source_edge.(victim) ~cap:F.zero)
+          victims;
+        List.iter
+          (fun victim ->
+            for j = first_ivl.(victim) to last_ivl.(victim) do
+              if sink_edge.(j) >= 0 then begin
+                Flow.set_capacity g sink_edge.(j)
+                  ~cap:(F.mul (F.of_int procs.(j)) widths.(j));
+                ignore (Flow.reduce_to_capacity g ~source:0 ~sink:1 sink_edge.(j))
+              end
+            done)
+          victims;
         for i = 0 to n - 1 do
           if candidate.(i) then begin
             Flow.set_capacity g source_edge.(i) ~cap:(F.div jobs.(i).work !speed);
@@ -316,7 +455,8 @@ module Make (F : Ss_numeric.Field.S) = struct
             if candidate.(i) then members := i :: !members
           done;
           accepted :=
-            Some { members = !members; speed = !speed; procs = Array.copy procs; alloc = !alloc }
+            Some
+              { members = !members; speed = !speed; procs = Array.sub procs 0 k; alloc = !alloc }
         end
         else begin
           (* Find an unsaturated sink edge, then the least-filled incoming
@@ -336,51 +476,118 @@ module Make (F : Ss_numeric.Field.S) = struct
            with Exit -> ());
           if !bad_interval < 0 then
             failwith "Offline.solve: flow deficit without unsaturated sink edge";
-          let j0 = !bad_interval in
-          let victim = ref (-1) in
-          let victim_flow = ref F.zero in
-          (try
-             for i = 0 to n - 1 do
-               if candidate.(i) && is_active i j0 then begin
-                 let f =
-                   let e = job_edge.((i * k) + j0) in
-                   if e >= 0 then Flow.flow_on g e else F.zero
-                 in
-                 if not (F.equal_approx f widths.(j0)) then begin
-                   match victim_rule with
-                   | First_found ->
-                     victim := i;
-                     raise Exit
-                   | Least_flow ->
-                     if !victim < 0 || F.compare f !victim_flow < 0 then begin
-                       victim := i;
-                       victim_flow := f
+          let victims =
+            if not group_removal then begin
+              let j0 = !bad_interval in
+              let victim = ref (-1) in
+              let victim_flow = ref F.zero in
+              (try
+                 for i = 0 to n - 1 do
+                   if candidate.(i) && is_active i j0 then begin
+                     let f =
+                       let e = job_edge.((i * k) + j0) in
+                       if e >= 0 then Flow.flow_on g e else F.zero
+                     in
+                     if not (F.equal_approx f widths.(j0)) then begin
+                       match victim_rule with
+                       | First_found ->
+                         victim := i;
+                         raise Exit
+                       | Least_flow ->
+                         if !victim < 0 || F.compare f !victim_flow < 0 then begin
+                           victim := i;
+                           victim_flow := f
+                         end
                      end
-                 end
-               end
-             done
-           with Exit -> ());
-          if !victim < 0 then
-            failwith "Offline.solve: unsaturated interval without removable job";
-          candidate.(!victim) <- false;
-          decr cand_count;
-          incr removals;
+                   end
+                 done
+               with Exit -> ());
+              if !victim < 0 then
+                failwith "Offline.solve: unsaturated interval without removable job";
+              [ !victim ]
+            end
+            else begin
+              (* Grouped removal (session mode): collect every job this
+                 round's maximum flow certifies — a non-full edge into any
+                 unsaturated interval.  Each certificate refers to the same
+                 maximum flow, so all removals are individually sound by
+                 Lemma 4; taking them together only skips re-certifying one
+                 at a time, and the accepted class (the fixed point) is the
+                 same either way. *)
+              let victim_mark = ws.victim_mark in
+              Array.fill victim_mark 0 n false;
+              let marked = ref 0 in
+              for j = !bad_interval to k - 1 do
+                if procs.(j) > 0 then begin
+                  let cap = F.mul (F.of_int procs.(j)) widths.(j) in
+                  if not (F.equal_approx (Flow.flow_on g sink_edge.(j)) cap) then
+                    for i = 0 to n - 1 do
+                      if candidate.(i) && (not victim_mark.(i)) && is_active i j then begin
+                        let f =
+                          let e = job_edge.((i * k) + j) in
+                          if e >= 0 then Flow.flow_on g e else F.zero
+                        in
+                        if not (F.equal_approx f widths.(j)) then begin
+                          victim_mark.(i) <- true;
+                          incr marked
+                        end
+                      end
+                    done
+                end
+              done;
+              if !marked = 0 then
+                failwith "Offline.solve: unsaturated interval without removable job";
+              if !marked > 1 then incr grouped;
+              let vs = ref [] in
+              for i = n - 1 downto 0 do
+                if victim_mark.(i) then vs := i :: !vs
+              done;
+              !vs
+            end
+          in
+          List.iter
+            (fun victim ->
+              candidate.(victim) <- false;
+              decr cand_count;
+              incr removals;
+              (* Lemma 3 state changes only on the victim's active range. *)
+              for j = first_ivl.(victim) to last_ivl.(victim) do
+                nj.(j) <- nj.(j) - 1;
+                procs.(j) <- min nj.(j) (machines - used.(j))
+              done)
+            victims;
           if !cand_count = 0 then
             failwith "Offline.solve: candidate set exhausted";
-          (* Lemma 3 state changes only on the victim's active range. *)
-          for j = first_ivl.(!victim) to last_ivl.(!victim) do
-            nj.(j) <- nj.(j) - 1;
-            procs.(j) <- min nj.(j) (machines - used.(j))
-          done;
           refresh_conjecture ();
-          if incremental then begin
+          match strategy with
+          | Resume ->
             repaired := true;
-            repair_and_resume !victim
-          end
-          else begin
+            repair_and_resume victims
+          | Rebuild ->
             build ();
             run_from_zero ()
-          end
+          | Rewind ->
+            (* In-place rewind: dead (zero-capacity) edges are never
+               traversable, so recomputing from zero on the updated
+               capacities is bit-identical to a rebuild without the
+               victims — no re-extraction debt. *)
+            Flow.reset_flows g;
+            List.iter
+              (fun victim ->
+                Flow.set_capacity g source_edge.(victim) ~cap:F.zero;
+                for j = first_ivl.(victim) to last_ivl.(victim) do
+                  if sink_edge.(j) >= 0 then
+                    Flow.set_capacity g sink_edge.(j)
+                      ~cap:(F.mul (F.of_int procs.(j)) widths.(j))
+                done)
+              victims;
+            for i = 0 to n - 1 do
+              if candidate.(i) then
+                Flow.set_capacity g source_edge.(i)
+                  ~cap:(F.div jobs.(i).work !speed)
+            done;
+            incr resumes;
+            run_from_zero ()
         end
       done;
       (match !accepted with
@@ -397,8 +604,129 @@ module Make (F : Ss_numeric.Field.S) = struct
       breakpoints;
       schedule_phases = List.rev !phases;
       stats =
-        { phases = !phase_count; rounds = !rounds; resumes = !resumes; removals = !removals };
+        {
+          phases = !phase_count;
+          rounds = !rounds;
+          resumes = !resumes;
+          removals = !removals;
+          grouped = !grouped;
+        };
     }
+
+  (* The paper-facing entry point: a fresh workspace per call, single-victim
+     Lemma 4 removals — exactly the PR 1 behaviour. *)
+  let solve ?flow_algorithm ?victim_rule ?(incremental = true) ?on_flow
+      ~machines jobs =
+    solve_in ?flow_algorithm ?victim_rule
+      ~strategy:(if incremental then Resume else Rebuild)
+      ?on_flow ~ws:(make_workspace ()) ~machines jobs
+
+  (* --- cross-arrival solver sessions (Section 3.1, Lemmas 6–9) ----------
+     A session owns a persistent workspace (flow arena, breakpoint-grid
+     scratch, reservation arrays) reused across successive solves, the
+     natural shape for OA(m)-style replanning where every arrival re-solves
+     a slightly different instance.  Sessions run the round loop with
+     grouped Lemma 4 removals — every job certified by a failed round's
+     maximum flow is removed at once — which cuts the round count roughly
+     by the average victims-per-failed-round without changing the accepted
+     classes (the phase partition is the unique fixed point; see A5).
+
+     The Lemma 6–9 monotonicity is tracked as a ledger: callers tag jobs
+     with stable [keys] across solves, and the session records how many
+     carried jobs kept a non-decreasing planned speed (Lemma 7 predicts:
+     all of them, when solves correspond to OA replans at arrivals). *)
+  module Session = struct
+    type stats = {
+      solves : int;
+      rounds : int;             (* cumulative max-flow computations *)
+      resumes : int;            (* cumulative warm-started resumes *)
+      removals : int;           (* cumulative Lemma 4 removals *)
+      grouped_rounds : int;     (* failed rounds that removed > 1 victim *)
+      carried_jobs : int;       (* keys also planned by an earlier solve *)
+      monotone_carried : int;   (* carried keys whose speed did not drop *)
+      arena_grows : int;        (* solves that had to grow the workspace *)
+    }
+
+    type t = {
+      machines : int;
+      ws : workspace;
+      prev_speed : (int, F.t) Hashtbl.t;
+      mutable solves : int;
+      mutable rounds : int;
+      mutable resumes : int;
+      mutable removals : int;
+      mutable grouped_rounds : int;
+      mutable carried_jobs : int;
+      mutable monotone_carried : int;
+    }
+
+    let create ~machines =
+      if machines <= 0 then invalid_arg "Offline.Session.create: machines <= 0";
+      {
+        machines;
+        ws = make_workspace ();
+        prev_speed = Hashtbl.create 64;
+        solves = 0;
+        rounds = 0;
+        resumes = 0;
+        removals = 0;
+        grouped_rounds = 0;
+        carried_jobs = 0;
+        monotone_carried = 0;
+      }
+
+    let machines t = t.machines
+
+    let solve ?keys t jobs =
+      (match keys with
+      | Some ks when Array.length ks <> Array.length jobs ->
+        invalid_arg "Offline.Session.solve: keys length mismatch"
+      | _ -> ());
+      (* Sessions answer failed rounds by in-place rewinds rather than
+         repaired resumes: at replanning scale the Fig. 1 networks are
+         small, so a fresh Dinic run over the warm topology costs less
+         than per-victim path cancellation — and its flow is canonical
+         already, so acceptance needs no re-extraction. *)
+      let run =
+        solve_in ~strategy:Rewind ~group_removal:true ~ws:t.ws
+          ~machines:t.machines jobs
+      in
+      t.solves <- t.solves + 1;
+      t.rounds <- t.rounds + run.stats.rounds;
+      t.resumes <- t.resumes + run.stats.resumes;
+      t.removals <- t.removals + run.stats.removals;
+      t.grouped_rounds <- t.grouped_rounds + run.stats.grouped;
+      (match keys with
+      | None -> ()
+      | Some ks ->
+        List.iter
+          (fun (ph : phase) ->
+            List.iter
+              (fun i ->
+                let key = ks.(i) in
+                (match Hashtbl.find_opt t.prev_speed key with
+                | Some prev ->
+                  t.carried_jobs <- t.carried_jobs + 1;
+                  if F.leq_approx prev ph.speed then
+                    t.monotone_carried <- t.monotone_carried + 1
+                | None -> ());
+                Hashtbl.replace t.prev_speed key ph.speed)
+              ph.members)
+          run.schedule_phases);
+      run
+
+    let stats t =
+      {
+        solves = t.solves;
+        rounds = t.rounds;
+        resumes = t.resumes;
+        removals = t.removals;
+        grouped_rounds = t.grouped_rounds;
+        carried_jobs = t.carried_jobs;
+        monotone_carried = t.monotone_carried;
+        arena_grows = t.ws.grows;
+      }
+  end
 
   (* --- field-generic schedule materialization ---------------------------
      The same Lemma 2 wrap-packing as Ss_model.Schedule.wrap_pack, but in
@@ -461,7 +789,7 @@ module Make (F : Ss_numeric.Field.S) = struct
       let t0 = run.breakpoints.(j) and t1 = run.breakpoints.(j + 1) in
       let offset = ref 0 in
       List.iter
-        (fun phase ->
+        (fun (phase : phase) ->
           if phase.procs.(j) > 0 then begin
             let entries =
               List.filter_map
@@ -541,7 +869,7 @@ module Make (F : Ss_numeric.Field.S) = struct
     List.rev !problems
 
   (* Total reserved processing time of a phase. *)
-  let phase_busy_time run phase =
+  let phase_busy_time run (phase : phase) =
     let k = Array.length run.breakpoints - 1 in
     let acc = ref F.zero in
     for j = 0 to k - 1 do
@@ -556,7 +884,8 @@ module Make (F : Ss_numeric.Field.S) = struct
   let speeds run = List.map (fun p -> p.speed) run.schedule_phases
 end
 
-module F = Make (Ss_numeric.Field.Float)
+module Make (F : Ss_numeric.Field.S) = MakeWith (F) (Ss_flow.Maxflow.Make (F))
+module F = MakeWith (Ss_numeric.Field.Float) (Ss_flow.Maxflow.Float)
 module Exact = Make (Ss_numeric.Rational.Field)
 
 module Job = Ss_model.Job
@@ -606,6 +935,55 @@ let schedule_of_run ~machines (run : F.run) =
       run.schedule_phases
   done;
   Schedule.make ~machines (List.concat !segments)
+
+(* Same (proc, t0, job) order as Schedule.make installs, so a slice equals
+   the clipped full schedule segment-for-segment, in sequence. *)
+let compare_segment (a : Schedule.segment) (b : Schedule.segment) =
+  match compare a.proc b.proc with
+  | 0 -> (match Float.compare a.t0 b.t0 with 0 -> compare a.job b.job | c -> c)
+  | c -> c
+
+(* Materialize only the part of a run that overlaps [lo, hi): wrap-pack
+   just the grid intervals meeting the window and clip the result.  Equal
+   to clipping the full [schedule_of_run] output to the window — same
+   segments in the same order — but skips packing everything outside,
+   which is the common case in online replanning where a plan is only
+   followed until the next arrival. *)
+let slice_of_run ~machines (run : F.run) ~lo ~hi =
+  let k = Array.length run.breakpoints - 1 in
+  let segments = ref [] in
+  for j = 0 to k - 1 do
+    let t0 = run.breakpoints.(j) and t1 = run.breakpoints.(j + 1) in
+    if t1 > lo && t0 < hi then begin
+      let offset = ref 0 in
+      List.iter
+        (fun (phase : F.phase) ->
+          if phase.procs.(j) > 0 then begin
+            let entries =
+              List.filter_map
+                (fun (i, j', t) -> if j' = j then Some (i, t) else None)
+                phase.alloc
+            in
+            if entries <> [] then begin
+              let segs, used_procs =
+                Schedule.wrap_pack ~t0 ~t1 ~proc_offset:!offset ~speed:phase.speed entries
+              in
+              if used_procs > phase.procs.(j) then
+                failwith "Offline.slice_of_run: packing exceeded reservation";
+              segments := segs :: !segments
+            end;
+            offset := !offset + phase.procs.(j)
+          end)
+        run.schedule_phases;
+      if !offset > machines then
+        failwith "Offline.slice_of_run: reservations exceed machines"
+    end
+  done;
+  List.concat !segments
+  |> List.filter_map (fun (s : Schedule.segment) ->
+         let t0 = Float.max s.t0 lo and t1 = Float.min s.t1 hi in
+         if t1 > t0 then Some { s with t0; t1 } else None)
+  |> List.sort compare_segment
 
 let solve ?incremental (inst : Job.instance) =
   (match Job.validate inst with

@@ -8,7 +8,9 @@
     and materializes a {!Ss_model.Schedule.t}, {!solve_exact} replays it on
     exact rationals for certification. *)
 
-module Make (F : Ss_numeric.Field.S) : sig
+module MakeWith
+    (F : Ss_numeric.Field.S)
+    (Flow_impl : module type of Ss_flow.Maxflow.Make (F)) : sig
   module Flow : module type of Ss_flow.Maxflow.Make (F)
   (** The flow substrate this instantiation runs on; exposed so tests can
       audit the warm-started flows via [on_flow]. *)
@@ -28,10 +30,15 @@ module Make (F : Ss_numeric.Field.S) : sig
     phases : int;
     rounds : int;  (** max-flow computations performed *)
     resumes : int;
-        (** rounds answered by a warm-started resume instead of a
-            from-scratch max-flow (0 when [incremental:false] or with the
-            push-relabel backend, which cannot resume a feasible flow) *)
+        (** rounds answered without rebuilding the network: a warm-started
+            repair-and-resume ([solve]'s incremental path) or an in-place
+            rewind of the arena ({!Session} solves).  0 when
+            [incremental:false] or with the push-relabel backend, which
+            cannot resume a feasible flow. *)
     removals : int;  (** Lemma 4 job removals *)
+    grouped : int;
+        (** failed rounds that removed more than one certified victim at
+            once (always 0 outside {!Session} solves) *)
   }
 
   type run = {
@@ -71,6 +78,57 @@ module Make (F : Ss_numeric.Field.S) : sig
       @raise Stranded_job only on internal failure (valid instances are
       always schedulable). *)
 
+  (** Cross-arrival solver sessions (Section 3.1, Lemmas 6–9).
+
+      A session owns a persistent flow arena, breakpoint-grid scratch and
+      reservation arrays, reused and repaired across successive solves —
+      the natural shape for OA(m) replanning, which re-solves a slightly
+      different instance at every arrival.  Session solves run the round
+      loop with {e grouped} Lemma 4 removals: every job certified by a
+      failed round's maximum flow is removed at once, cutting the round
+      count without changing the accepted speed classes (the phase
+      partition is the unique fixed point of certified removals, so the
+      returned runs are identical to {!solve}'s up to round/resume
+      counters).
+
+      The Lemma 6–9 monotonicity across OA replans is tracked as a ledger:
+      tag jobs with stable [keys] and the session counts how many carried
+      jobs kept a non-decreasing planned speed (Lemma 7 predicts all of
+      them at arrival-driven replans). *)
+  module Session : sig
+    type t
+
+    type stats = {
+      solves : int;
+      rounds : int;  (** cumulative max-flow computations *)
+      resumes : int;
+          (** cumulative in-place arena rewinds (failed rounds answered
+              without rebuilding the network topology) *)
+      removals : int;  (** cumulative Lemma 4 removals *)
+      grouped_rounds : int;  (** failed rounds that removed > 1 victim *)
+      carried_jobs : int;  (** keys also planned by an earlier solve *)
+      monotone_carried : int;
+          (** carried keys whose planned speed did not drop (within the
+              field's approximate order) *)
+      arena_grows : int;  (** solves that had to grow the workspace *)
+    }
+
+    val create : machines:int -> t
+    (** @raise Invalid_argument if [machines <= 0]. *)
+
+    val machines : t -> int
+
+    val solve : ?keys:int array -> t -> job array -> run
+    (** Solve one instance on the session's machines, reusing the
+        workspace.  [keys.(i)] is a caller-stable identity for job [i]
+        (e.g. the original job id across OA replans), used only for the
+        monotonicity ledger.
+        @raise Invalid_argument if [keys] disagrees with [jobs] in length,
+        or on malformed jobs. *)
+
+    val stats : t -> stats
+  end
+
   val phase_busy_time : run -> phase -> F.t
   val speeds : run -> F.t list
 
@@ -91,7 +149,15 @@ module Make (F : Ss_numeric.Field.S) : sig
       when [F] is the rational field); empty = feasible. *)
 end
 
-module F : module type of Make (Ss_numeric.Field.Float)
+module Make (F : Ss_numeric.Field.S) :
+  module type of MakeWith (F) (Ss_flow.Maxflow.Make (F))
+(** The default pairing: field [F] with the generic flow substrate. *)
+
+module F : module type of MakeWith (Ss_numeric.Field.Float) (Ss_flow.Maxflow.Float)
+(** The float instance runs on {!Ss_flow.Maxflow.Float}, whose hot path is
+    float-monomorphic (unboxed array access) but bit-identical to the
+    generic substrate. *)
+
 module Exact : module type of Make (Ss_numeric.Rational.Field)
 
 type info = {
@@ -117,6 +183,15 @@ val energy_of_run : Ss_model.Power.t -> F.run -> float
 (** Energy from the phase structure alone; equals the schedule energy. *)
 
 val schedule_of_run : machines:int -> F.run -> Ss_model.Schedule.t
+
+val slice_of_run :
+  machines:int -> F.run -> lo:float -> hi:float -> Ss_model.Schedule.segment list
+(** Materialize only the part of a run overlapping [\[lo, hi)]: wrap-packs
+    just the grid intervals meeting the window and clips the result.
+    Equals clipping the full {!schedule_of_run} segments to the window,
+    in the same (proc, t0) order, but skips packing everything outside —
+    the hot path of online replanning, where each plan is only followed
+    until the next arrival. *)
 
 val solve_exact : ?incremental:bool -> Ss_model.Job.instance -> Exact.run
 (** Exact-rational replay of the entire algorithm (floats embed exactly). *)

@@ -7,26 +7,40 @@
    plus conservation audits support the test suite.
 
    Representation: forward/backward edge pairs at indices (2k, 2k+1) in flat
-   arrays, adjacency as per-vertex lists of edge indices.  Residual capacity
-   of edge e is cap.(e) - flow.(e); pushing x along e adds x to flow.(e) and
-   subtracts x from flow.(e lxor 1).
+   arrays, adjacency as per-vertex growable rows of edge indices (in
+   insertion order, which every traversal follows deterministically).
+   Residual capacity of edge e is cap.(e) - flow.(e); pushing x along e adds
+   x to flow.(e) and subtracts x from flow.(e lxor 1).
 
    The arena is reusable: [clear] rewinds the edge count without freeing the
-   flat arrays, and the warm-start primitives ([set_capacity],
+   flat arrays or the adjacency rows, [reserve] pre-sizes everything for a
+   known network shape, and the warm-start primitives ([set_capacity],
    [cancel_through], [reduce_to_capacity], [dinic_resume]) let the offline
    solver repair an installed flow after a small capacity perturbation
-   instead of recomputing from zero (see lib/core/offline.ml). *)
+   instead of recomputing from zero (see lib/core/offline.ml).  The BFS/DFS
+   scratch arrays of Dinic live in the arena too, so a round loop triggers
+   no allocation at all. *)
+
+(* The graph record lives outside the functor, parameterized by the field
+   element, so that [Float] below can shadow the hot path with
+   float-monomorphic code operating on the same values the generic
+   algorithms use. *)
+type 'a graph = {
+  mutable n : int;
+  mutable m : int;                (* number of arcs incl. reverses *)
+  mutable cap : 'a array;
+  mutable flow : 'a array;
+  mutable dst : int array;
+  mutable deg : int array;        (* edges leaving each vertex *)
+  mutable rows : int array array; (* per-vertex edge ids, insertion order *)
+  (* Dinic/BFS scratch, reused across runs. *)
+  mutable level : int array;
+  mutable iter_ : int array;
+  mutable queue : int array;
+}
 
 module Make (F : Ss_numeric.Field.S) = struct
-  type t = {
-    mutable n : int;
-    mutable m : int;                (* number of arcs incl. reverses *)
-    mutable cap : F.t array;
-    mutable flow : F.t array;
-    mutable dst : int array;
-    mutable adj : int list array;   (* edge indices leaving each vertex *)
-    mutable adj_arr : int array array option;  (* frozen adjacency *)
-  }
+  type t = F.t graph
 
   let create ~n =
     {
@@ -35,21 +49,35 @@ module Make (F : Ss_numeric.Field.S) = struct
       cap = Array.make 16 F.zero;
       flow = Array.make 16 F.zero;
       dst = Array.make 16 0;
-      adj = Array.make n [];
-      adj_arr = None;
+      deg = Array.make (max n 1) 0;
+      rows = Array.make (max n 1) [||];
+      level = [||];
+      iter_ = [||];
+      queue = [||];
     }
 
+  let grow_vertices g n =
+    let len = Array.length g.deg in
+    if n > len then begin
+      let len' = max n (2 * len) in
+      let deg' = Array.make len' 0 in
+      Array.blit g.deg 0 deg' 0 len;
+      let rows' = Array.make len' [||] in
+      Array.blit g.rows 0 rows' 0 len;
+      g.deg <- deg';
+      g.rows <- rows'
+    end
+
   (* Rewind to an empty network on [n] vertices, keeping the flat
-     cap/flow/dst arrays (and the adjacency array when large enough) so a
-     round loop can rebuild without reallocating. *)
+     cap/flow/dst arrays and the adjacency rows so a round loop can rebuild
+     without reallocating. *)
   let clear g ~n =
     if n < 0 then invalid_arg "Maxflow.clear: negative vertex count";
-    if n > Array.length g.adj then
-      g.adj <- Array.make (max n (2 * Array.length g.adj)) []
-    else Array.fill g.adj 0 (Array.length g.adj) [];
+    let live = max g.n (min n (Array.length g.deg)) in
+    Array.fill g.deg 0 (min live (Array.length g.deg)) 0;
+    grow_vertices g n;
     g.n <- n;
-    g.m <- 0;
-    g.adj_arr <- None
+    g.m <- 0
 
   let ensure_capacity g needed =
     let len = Array.length g.cap in
@@ -65,12 +93,41 @@ module Make (F : Ss_numeric.Field.S) = struct
       g.dst <- grow g.dst 0
     end
 
+  (* Pre-size the arena so a known-shape rebuild triggers no growth inside
+     the hot loop.  Returns [true] if any array actually grew — solver
+     sessions count these to report arena churn. *)
+  let reserve g ~vertices ~edges =
+    let grew = ref false in
+    if vertices > Array.length g.deg then begin
+      grow_vertices g vertices;
+      grew := true
+    end;
+    let arcs = 2 * edges in
+    if arcs > Array.length g.cap then begin
+      ensure_capacity g arcs;
+      grew := true
+    end;
+    !grew
+
+  (* Current allocation limits: (vertex slots, forward-edge slots). *)
+  let arena_capacity g = (Array.length g.deg, Array.length g.cap / 2)
+
+  let push_row g v e =
+    let row = g.rows.(v) in
+    let len = Array.length row in
+    if g.deg.(v) = len then begin
+      let row' = Array.make (max 4 (2 * len)) 0 in
+      Array.blit row 0 row' 0 len;
+      g.rows.(v) <- row'
+    end;
+    g.rows.(v).(g.deg.(v)) <- e;
+    g.deg.(v) <- g.deg.(v) + 1
+
   (* Returns the forward-edge id; the reverse edge (zero capacity) lives at
      [id + 1]. *)
   let add_edge g ~src ~dst ~cap =
     if src < 0 || src >= g.n || dst < 0 || dst >= g.n then invalid_arg "Maxflow.add_edge: vertex out of range";
     if F.sign cap < 0 then invalid_arg "Maxflow.add_edge: negative capacity";
-    g.adj_arr <- None;
     let id = g.m in
     ensure_capacity g (id + 2);
     g.cap.(id) <- cap;
@@ -79,18 +136,18 @@ module Make (F : Ss_numeric.Field.S) = struct
     g.cap.(id + 1) <- F.zero;
     g.flow.(id + 1) <- F.zero;
     g.dst.(id + 1) <- src;
-    g.adj.(src) <- id :: g.adj.(src);
-    g.adj.(dst) <- (id + 1) :: g.adj.(dst);
+    push_row g src id;
+    push_row g dst (id + 1);
     g.m <- id + 2;
     id
 
-  let adjacency g =
-    match g.adj_arr with
-    | Some a -> a
-    | None ->
-      let a = Array.map (fun l -> Array.of_list (List.rev l)) g.adj in
-      g.adj_arr <- Some a;
-      a
+  (* Iterate the edges out of [v] in insertion order (the order every
+     algorithm below depends on for determinism). *)
+  let iter_adj g v f =
+    let row = g.rows.(v) and d = g.deg.(v) in
+    for idx = 0 to d - 1 do
+      f row.(idx)
+    done
 
   let residual g e = F.sub g.cap.(e) g.flow.(e)
   let positive x = F.sign x > 0
@@ -105,8 +162,8 @@ module Make (F : Ss_numeric.Field.S) = struct
     done
 
   (* Change the capacity of an existing forward edge without touching the
-     (frozen) adjacency.  The installed flow is left as-is: if it now
-     exceeds the new capacity the caller must repair it, e.g. with
+     adjacency.  The installed flow is left as-is: if it now exceeds the
+     new capacity the caller must repair it, e.g. with
      [reduce_to_capacity]. *)
   let set_capacity g e ~cap =
     if e < 0 || e >= g.m || e land 1 <> 0 then
@@ -122,15 +179,13 @@ module Make (F : Ss_numeric.Field.S) = struct
 
   (* Forward edges of a flow-carrying path source -> v, in path order. *)
   let backward_path g ~source v =
-    let adj = adjacency g in
     let rec go v acc steps =
       if v = source then acc
       else begin
         if steps > g.n then failwith "Maxflow: cyclic flow in backward walk";
         let found = ref (-1) in
-        Array.iter
-          (fun e -> if !found < 0 && e land 1 = 1 && F.sign g.flow.(e lxor 1) > 0 then found := e)
-          adj.(v);
+        iter_adj g v
+          (fun e -> if !found < 0 && e land 1 = 1 && F.sign g.flow.(e lxor 1) > 0 then found := e);
         if !found < 0 then failwith "Maxflow: no flow-carrying edge into vertex";
         go g.dst.(!found) (!found lxor 1 :: acc) (steps + 1)
       end
@@ -139,15 +194,13 @@ module Make (F : Ss_numeric.Field.S) = struct
 
   (* Forward edges of a flow-carrying path v -> sink, in path order. *)
   let forward_path g ~sink v =
-    let adj = adjacency g in
     let rec go v acc steps =
       if v = sink then List.rev acc
       else begin
         if steps > g.n then failwith "Maxflow: cyclic flow in forward walk";
         let found = ref (-1) in
-        Array.iter
-          (fun e -> if !found < 0 && e land 1 = 0 && F.sign g.flow.(e) > 0 then found := e)
-          adj.(v);
+        iter_adj g v
+          (fun e -> if !found < 0 && e land 1 = 0 && F.sign g.flow.(e) > 0 then found := e);
         if !found < 0 then failwith "Maxflow: no flow-carrying edge out of vertex";
         go g.dst.(!found) (!found :: acc) (steps + 1)
       end
@@ -163,14 +216,12 @@ module Make (F : Ss_numeric.Field.S) = struct
   let cancel_through g ~source ~sink ~vertex =
     if vertex = source || vertex = sink then
       invalid_arg "Maxflow.cancel_through: vertex is source or sink";
-    let adj = adjacency g in
     let drained = ref F.zero in
     let continue = ref true in
     while !continue do
       let out = ref (-1) in
-      Array.iter
-        (fun e -> if !out < 0 && e land 1 = 0 && F.sign g.flow.(e) > 0 then out := e)
-        adj.(vertex);
+      iter_adj g vertex
+        (fun e -> if !out < 0 && e land 1 = 0 && F.sign g.flow.(e) > 0 then out := e);
       if !out < 0 then continue := false
       else begin
         let path =
@@ -204,16 +255,22 @@ module Make (F : Ss_numeric.Field.S) = struct
     done;
     !removed
 
+  let fit_scratch g =
+    if Array.length g.level < g.n then begin
+      let len = max g.n (2 * Array.length g.level) in
+      g.level <- Array.make len 0;
+      g.iter_ <- Array.make len 0;
+      g.queue <- Array.make len 0
+    end
+
   (* Dinic: BFS level graph, then DFS blocking flow with arc pointers.
      Augments the *installed* flow (which is zero on a fresh network): run
      via [dinic_resume] after a repair to continue from a feasible flow
      rather than from scratch.  Returns the amount added. *)
   let dinic_resume g ~source ~sink =
     if source = sink then invalid_arg "Maxflow.dinic: source = sink";
-    let adj = adjacency g in
-    let level = Array.make g.n (-1) in
-    let iter = Array.make g.n 0 in
-    let queue = Array.make g.n 0 in
+    fit_scratch g;
+    let level = g.level and iter = g.iter_ and queue = g.queue in
     let bfs () =
       Array.fill level 0 g.n (-1);
       level.(source) <- 0;
@@ -222,15 +279,16 @@ module Make (F : Ss_numeric.Field.S) = struct
       while !head < !tail do
         let u = queue.(!head) in
         incr head;
-        Array.iter
-          (fun e ->
-            let v = g.dst.(e) in
-            if level.(v) < 0 && positive (residual g e) then begin
-              level.(v) <- level.(u) + 1;
-              queue.(!tail) <- v;
-              incr tail
-            end)
-          adj.(u)
+        let row = g.rows.(u) and d = g.deg.(u) and lu = level.(u) + 1 in
+        for idx = 0 to d - 1 do
+          let e = row.(idx) in
+          let v = g.dst.(e) in
+          if level.(v) < 0 && positive (residual g e) then begin
+            level.(v) <- lu;
+            queue.(!tail) <- v;
+            incr tail
+          end
+        done
       done;
       level.(sink) >= 0
     in
@@ -239,8 +297,9 @@ module Make (F : Ss_numeric.Field.S) = struct
       else begin
         let result = ref F.zero in
         let continue = ref true in
-        while !continue && iter.(u) < Array.length adj.(u) do
-          let e = adj.(u).(iter.(u)) in
+        let row = g.rows.(u) and d = g.deg.(u) in
+        while !continue && iter.(u) < d do
+          let e = row.(iter.(u)) in
           let v = g.dst.(e) in
           let r = residual g e in
           if level.(v) = level.(u) + 1 && positive r then begin
@@ -259,7 +318,9 @@ module Make (F : Ss_numeric.Field.S) = struct
     in
     (* An upper bound on any augmentation: total capacity out of source. *)
     let infinity_ =
-      Array.fold_left (fun acc e -> F.add acc g.cap.(e)) F.one adj.(source)
+      let acc = ref F.one in
+      iter_adj g source (fun e -> acc := F.add !acc g.cap.(e));
+      !acc
     in
     let total = ref F.zero in
     while bfs () do
@@ -281,7 +342,6 @@ module Make (F : Ss_numeric.Field.S) = struct
      cross-check Dinic in tests. *)
   let edmonds_karp g ~source ~sink =
     if source = sink then invalid_arg "Maxflow.edmonds_karp: source = sink";
-    let adj = adjacency g in
     let pred = Array.make g.n (-1) in
     let queue = Array.make g.n 0 in
     let find_path () =
@@ -293,7 +353,7 @@ module Make (F : Ss_numeric.Field.S) = struct
       while not !found && !head < !tail do
         let u = queue.(!head) in
         incr head;
-        Array.iter
+        iter_adj g u
           (fun e ->
             let v = g.dst.(e) in
             if pred.(v) < 0 && positive (residual g e) then begin
@@ -304,7 +364,6 @@ module Make (F : Ss_numeric.Field.S) = struct
                 incr tail
               end
             end)
-          adj.(u)
       done;
       !found
     in
@@ -338,7 +397,6 @@ module Make (F : Ss_numeric.Field.S) = struct
      faster choice on dense networks. *)
   let push_relabel g ~source ~sink =
     if source = sink then invalid_arg "Maxflow.push_relabel: source = sink";
-    let adj = adjacency g in
     let n = g.n in
     let height = Array.make n 0 in
     let excess = Array.make n F.zero in
@@ -356,7 +414,7 @@ module Make (F : Ss_numeric.Field.S) = struct
     count.(0) <- n - 1;
     count.(n) <- 1;
     (* Saturate all source edges. *)
-    Array.iter
+    iter_adj g source
       (fun e ->
         let r = residual g e in
         if positive r then begin
@@ -364,17 +422,15 @@ module Make (F : Ss_numeric.Field.S) = struct
           excess.(g.dst.(e)) <- F.add excess.(g.dst.(e)) r;
           excess.(source) <- F.sub excess.(source) r;
           activate g.dst.(e)
-        end)
-      adj.(source);
+        end);
     let relabel v =
       (* Gap heuristic: if v's old height level empties, lift everything
          above it past n. *)
       let old = height.(v) in
       let mut_min = ref ((2 * n) + 1) in
-      Array.iter
+      iter_adj g v
         (fun e ->
-          if positive (residual g e) then mut_min := min !mut_min (height.(g.dst.(e)) + 1))
-        adj.(v);
+          if positive (residual g e) then mut_min := min !mut_min (height.(g.dst.(e)) + 1));
       let h = if !mut_min > 2 * n then (2 * n) else !mut_min in
       count.(old) <- count.(old) - 1;
       height.(v) <- h;
@@ -395,7 +451,7 @@ module Make (F : Ss_numeric.Field.S) = struct
       while !continue && positive excess.(v) do
         (* Push along admissible edges; if excess survives a full sweep,
            every admissible edge is saturated, so a relabel is due. *)
-        Array.iter
+        iter_adj g v
           (fun e ->
             if positive excess.(v) then begin
               let r = residual g e in
@@ -407,8 +463,7 @@ module Make (F : Ss_numeric.Field.S) = struct
                 excess.(u) <- F.add excess.(u) amount;
                 activate u
               end
-            end)
-          adj.(v);
+            end);
         if positive excess.(v) then begin
           if height.(v) >= 2 * n then continue := false
           else relabel v
@@ -423,16 +478,14 @@ module Make (F : Ss_numeric.Field.S) = struct
      vertex list from source to sink with its flow amount; the amounts sum
      to the flow value.  Mutates a private copy of the flow. *)
   let decompose g ~source ~sink =
-    let adj = adjacency g in
     let remaining = Array.copy g.flow in
     let paths = ref [] in
     let find_out v =
       (* A forward edge out of v still carrying flow. *)
       let found = ref (-1) in
-      Array.iter
+      iter_adj g v
         (fun e ->
-          if !found < 0 && e land 1 = 0 && F.sign remaining.(e) > 0 then found := e)
-        adj.(v);
+          if !found < 0 && e land 1 = 0 && F.sign remaining.(e) > 0 then found := e);
       !found
     in
     let rec walk v acc seen =
@@ -449,12 +502,11 @@ module Make (F : Ss_numeric.Field.S) = struct
               match path with
               | a :: (b :: _ as rest) ->
                 (* edge from b to a on the recorded walk *)
-                Array.iter
+                iter_adj g b
                   (fun e' ->
                     if e' land 1 = 0 && g.dst.(e') = a && F.sign remaining.(e') > 0
                        && g.dst.(e' lxor 1) = b
-                    then cycle_edges := e' :: !cycle_edges)
-                  adj.(b);
+                    then cycle_edges := e' :: !cycle_edges);
                 if b <> u then collect rest
               | _ -> ()
             in
@@ -480,12 +532,11 @@ module Make (F : Ss_numeric.Field.S) = struct
         let rec edges = function
           | a :: (b :: _ as rest) ->
             let e = ref (-1) in
-            Array.iter
+            iter_adj g a
               (fun e' ->
                 if !e < 0 && e' land 1 = 0 && g.dst.(e') = b && F.sign remaining.(e') > 0
                    && g.dst.(e' lxor 1) = a
-                then e := e')
-              adj.(a);
+                then e := e');
             !e :: edges rest
           | _ -> []
         in
@@ -510,12 +561,11 @@ module Make (F : Ss_numeric.Field.S) = struct
   (* Vertices reachable from [source] in the residual graph; after a
      max-flow this is the source side of a minimum cut. *)
   let min_cut g ~source =
-    let adj = adjacency g in
     let seen = Array.make g.n false in
     let rec go u =
       if not seen.(u) then begin
         seen.(u) <- true;
-        Array.iter (fun e -> if positive (residual g e) then go g.dst.(e)) adj.(u)
+        iter_adj g u (fun e -> if positive (residual g e) then go g.dst.(e))
       end
     in
     go source;
@@ -534,8 +584,9 @@ module Make (F : Ss_numeric.Field.S) = struct
   let flow_on g e = g.flow.(e)
 
   let flow_value g ~source =
-    let adj = adjacency g in
-    Array.fold_left (fun acc e -> F.add acc g.flow.(e)) F.zero adj.(source)
+    let acc = ref F.zero in
+    iter_adj g source (fun e -> acc := F.add !acc g.flow.(e));
+    !acc
 
   type violation =
     | Capacity_exceeded of int
@@ -575,5 +626,131 @@ module Make (F : Ss_numeric.Field.S) = struct
     done
 end
 
-module Float = Make (Ss_numeric.Field.Float)
+module Float = struct
+  include Make (Ss_numeric.Field.Float)
+
+  (* --- float-monomorphic hot path --------------------------------------
+     The [include] above provides the full algorithm suite; the bindings
+     below shadow the round-loop hot path with specializations where the
+     flat arrays are statically [float array], so element accesses compile
+     to unboxed loads and stores (the functor-generic versions box every
+     read).  Each body mirrors its generic counterpart operation for
+     operation — same IEEE ops in the same order, same tolerance — so the
+     results are bit-for-bit identical; test_flow cross-checks the two on
+     random networks. *)
+
+  let tolerance = Ss_numeric.Field.float_rel_tolerance
+
+  (* = [F.sign x > 0] for the float field's tolerance-based sign. *)
+  let positive_f x = x > tolerance
+
+  let add_edge (g : t) ~src ~dst ~cap =
+    if src < 0 || src >= g.n || dst < 0 || dst >= g.n then invalid_arg "Maxflow.add_edge: vertex out of range";
+    if cap < -.tolerance then invalid_arg "Maxflow.add_edge: negative capacity";
+    let id = g.m in
+    ensure_capacity g (id + 2);
+    g.cap.(id) <- cap;
+    g.flow.(id) <- 0.;
+    g.dst.(id) <- dst;
+    g.cap.(id + 1) <- 0.;
+    g.flow.(id + 1) <- 0.;
+    g.dst.(id + 1) <- src;
+    push_row g src id;
+    push_row g dst (id + 1);
+    g.m <- id + 2;
+    id
+
+  let set_capacity (g : t) e ~cap =
+    if e < 0 || e >= g.m || e land 1 <> 0 then
+      invalid_arg "Maxflow.set_capacity: not a forward edge id";
+    if cap < -.tolerance then invalid_arg "Maxflow.set_capacity: negative capacity";
+    g.cap.(e) <- cap
+
+  let reset_flows (g : t) = Array.fill g.flow 0 g.m 0.
+
+  let dinic_resume (g : t) ~source ~sink =
+    if source = sink then invalid_arg "Maxflow.dinic: source = sink";
+    fit_scratch g;
+    let level = g.level and iter = g.iter_ and queue = g.queue in
+    let cap = g.cap and flow = g.flow and dst = g.dst in
+    let bfs () =
+      Array.fill level 0 g.n (-1);
+      level.(source) <- 0;
+      queue.(0) <- source;
+      let head = ref 0 and tail = ref 1 in
+      while !head < !tail do
+        let u = queue.(!head) in
+        incr head;
+        let row = g.rows.(u) and d = g.deg.(u) and lu = level.(u) + 1 in
+        for idx = 0 to d - 1 do
+          let e = row.(idx) in
+          let v = dst.(e) in
+          if level.(v) < 0 && positive_f (cap.(e) -. flow.(e)) then begin
+            level.(v) <- lu;
+            queue.(!tail) <- v;
+            incr tail
+          end
+        done
+      done;
+      level.(sink) >= 0
+    in
+    let rec dfs u limit =
+      if u = sink then limit
+      else begin
+        let result = ref 0. in
+        let continue = ref true in
+        let row = g.rows.(u) and d = g.deg.(u) in
+        while !continue && iter.(u) < d do
+          let e = row.(iter.(u)) in
+          let v = dst.(e) in
+          let r = cap.(e) -. flow.(e) in
+          if level.(v) = level.(u) + 1 && positive_f r then begin
+            let pushed = dfs v (Float.min limit r) in
+            if positive_f pushed then begin
+              flow.(e) <- flow.(e) +. pushed;
+              flow.(e lxor 1) <- flow.(e lxor 1) -. pushed;
+              result := pushed;
+              continue := false
+            end
+            else iter.(u) <- iter.(u) + 1
+          end
+          else iter.(u) <- iter.(u) + 1
+        done;
+        !result
+      end
+    in
+    let infinity_ =
+      let acc = ref 1. in
+      let row = g.rows.(source) and d = g.deg.(source) in
+      for idx = 0 to d - 1 do
+        acc := !acc +. cap.(row.(idx))
+      done;
+      !acc
+    in
+    let total = ref 0. in
+    while bfs () do
+      Array.fill iter 0 g.n 0;
+      let rec drain () =
+        let f = dfs source infinity_ in
+        if positive_f f then begin
+          total := !total +. f;
+          drain ()
+        end
+      in
+      drain ()
+    done;
+    !total
+
+  let dinic = dinic_resume
+
+  let flow_value (g : t) ~source =
+    let acc = ref 0. in
+    let flow = g.flow in
+    let row = g.rows.(source) and d = g.deg.(source) in
+    for idx = 0 to d - 1 do
+      acc := !acc +. flow.(row.(idx))
+    done;
+    !acc
+end
+
 module Exact = Make (Ss_numeric.Rational.Field)

@@ -17,6 +17,17 @@ module Make (F : Ss_numeric.Field.S) : sig
       allocated edge arrays (an arena for round loops that rebuild similar
       networks repeatedly). *)
 
+  val reserve : t -> vertices:int -> edges:int -> bool
+  (** Grow the arena (without changing the installed network) so that
+      [vertices] vertex slots and [edges] forward edges fit with no further
+      allocation.  Returns [true] iff any backing array actually grew;
+      solver sessions use this to pre-size before a rebuild and to count
+      arena churn. *)
+
+  val arena_capacity : t -> int * int
+  (** Current allocation limits as [(vertex_slots, forward_edge_slots)] —
+      how big a network fits before {!reserve}/{!add_edge} must grow. *)
+
   val add_edge : t -> src:int -> dst:int -> cap:F.t -> int
   (** Adds a directed edge and returns its id.
       @raise Invalid_argument on out-of-range vertices or negative

@@ -94,15 +94,11 @@ let run (inst : Job.instance) =
   let peeled_total = ref 0 in
   for t = t_start to t_end - 1 do
     let t0 = float_of_int t and t1 = float_of_int (t + 1) in
-    let active = ref [] in
-    for i = n - 1 downto 0 do
-      let j = inst.jobs.(i) in
-      if j.release <= t0 && t1 <= j.deadline then active := i :: !active
-    done;
+    let active = Engine.active_jobs inst ~lo:t0 ~hi:t1 in
     (* Lines 3-6 of Fig. 3. *)
     peeled_total :=
       !peeled_total
-      + schedule_interval ~machines:inst.machines ~density ~segments ~t0 ~t1 !active
+      + schedule_interval ~machines:inst.machines ~density ~segments ~t0 ~t1 active
   done;
   let schedule = Schedule.make ~machines:inst.machines !segments in
   (schedule, { intervals = t_end - t_start; peeled = !peeled_total })

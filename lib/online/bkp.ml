@@ -55,11 +55,7 @@ let speed_estimate (inst : Job.instance) t =
 
 (* Event times (releases and deadlines) refined [steps_per_event]-fold. *)
 let slices ~steps_per_event (inst : Job.instance) =
-  let base =
-    Array.to_list inst.jobs
-    |> List.concat_map (fun (j : Job.t) -> [ j.release; j.deadline ])
-    |> List.sort_uniq Float.compare
-  in
+  let base = Engine.event_times inst in
   let rec refine acc = function
     | a :: (b :: _ as rest) ->
       let acc = ref acc in

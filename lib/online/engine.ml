@@ -21,6 +21,23 @@ let arriving (inst : Job.instance) t =
   Array.iteri (fun i (j : Job.t) -> if j.release = t then ids := i :: !ids) inst.jobs;
   List.rev !ids
 
+(* Distinct event times (releases and deadlines), ascending: the base grid
+   shared by the discretized simulators. *)
+let event_times (inst : Job.instance) =
+  Array.to_list inst.jobs
+  |> List.concat_map (fun (j : Job.t) -> [ j.release; j.deadline ])
+  |> List.sort_uniq Float.compare
+
+(* Jobs whose window covers [lo, hi) entirely, ascending by id — the
+   active set of a grid or unit interval. *)
+let active_jobs (inst : Job.instance) ~lo ~hi =
+  let ids = ref [] in
+  for i = Array.length inst.jobs - 1 downto 0 do
+    let j = inst.jobs.(i) in
+    if j.release <= lo && hi <= j.deadline then ids := i :: !ids
+  done;
+  !ids
+
 (* Clip segments to the window [lo, hi); charges nothing outside. *)
 let clip_segments ~lo ~hi segments =
   List.filter_map
@@ -38,3 +55,45 @@ let charge_work acc segments =
 
 (* Relative completion test: remaining work below [tol] of the original. *)
 let finished ~tol ~work ~done_ = work -. done_ <= tol *. Float.max 1. work
+
+(* --- the shared replanning loop ---------------------------------------
+   Every replan-at-arrivals algorithm (OA(m) in both its scratch and
+   session forms) advances through the same skeleton: at each distinct
+   release time, gather the live jobs (released, unfinished), ask the
+   planner for the slice of its plan up to the next arrival, charge the
+   slice against remaining work and append it to the emerging schedule.
+   Only the planner differs, so it is the parameter. *)
+
+type live = { id : int; remaining : float; deadline : float }
+
+let replan_fold ~tol ~plan (inst : Job.instance) =
+  let n = Array.length inst.jobs in
+  let done_work = Array.make n 0. in
+  let events = Array.of_list (arrival_times inst) in
+  let horizon_end = snd (Job.horizon inst) in
+  let segments = ref [] in
+  Array.iteri
+    (fun e now ->
+      let upto = if e + 1 < Array.length events then events.(e + 1) else horizon_end in
+      (* Available unfinished work at [now]. *)
+      let live = ref [] in
+      for i = n - 1 downto 0 do
+        let j = inst.jobs.(i) in
+        let remaining = j.work -. done_work.(i) in
+        if j.release <= now && not (finished ~tol ~work:j.work ~done_:done_work.(i))
+        then begin
+          if j.deadline <= now then
+            failwith "Engine.replan_fold: job past deadline (drift bug)";
+          live := { id = i; remaining; deadline = j.deadline } :: !live
+        end
+      done;
+      match !live with
+      | [] -> ()
+      | live ->
+        (* The slice comes back in original job ids, clipped to
+           [now, upto). *)
+        let slice = plan ~now ~upto (Array.of_list live) in
+        charge_work done_work slice;
+        segments := slice :: !segments)
+    events;
+  Schedule.make ~machines:inst.machines (List.concat !segments)

@@ -6,9 +6,33 @@ val arrival_times : Ss_model.Job.instance -> float list
 val arriving : Ss_model.Job.instance -> float -> int list
 (** Jobs released exactly at [t]. *)
 
+val event_times : Ss_model.Job.instance -> float list
+(** Distinct releases and deadlines, ascending — the base grid of the
+    discretized simulators. *)
+
+val active_jobs : Ss_model.Job.instance -> lo:float -> hi:float -> int list
+(** Jobs whose window covers [\[lo, hi)] entirely, ascending by id. *)
+
 val clip_segments :
   lo:float -> hi:float -> Ss_model.Schedule.segment list -> Ss_model.Schedule.segment list
 
 val charge_work : float array -> Ss_model.Schedule.segment list -> unit
 
 val finished : tol:float -> work:float -> done_:float -> bool
+
+type live = { id : int; remaining : float; deadline : float }
+(** A released, unfinished job as the replanning loop sees it. *)
+
+val replan_fold :
+  tol:float ->
+  plan:
+    (now:float ->
+    upto:float ->
+    live array ->
+    Ss_model.Schedule.segment list) ->
+  Ss_model.Job.instance ->
+  Ss_model.Schedule.t
+(** The shared replan-at-arrivals skeleton: at every distinct release
+    time, collect the live jobs, call [plan] for the schedule slice on
+    [\[now, upto)] (in original job ids), charge it against remaining work
+    and append it.  Returns the assembled schedule. *)

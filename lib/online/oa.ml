@@ -7,14 +7,25 @@
 
    At m = 1 this is exactly the classical OA of Yao, Demers and Shenker.
 
+   Replanning runs on a cross-arrival solver session by default
+   ([incremental:true]): one persistent flow arena and scratch workspace
+   serve every replan, failed rounds remove all their Lemma 4 victims at
+   once, and only the plan slice up to the next arrival is materialized.
+   The paper's Lemmas 6–9 make the reuse sound — across arrivals the
+   schedule structure is monotone (per-job planned speeds never decrease,
+   Lemma 7), which the session verifies as a ledger.  [incremental:false]
+   replays the PR 1 scratch path (a fresh solver call per arrival); both
+   paths produce identical schedules and plans, which the agreement suite
+   in test/test_oa_session.ml checks.
+
    [run_detailed] additionally records each replanning decision (the
    planned constant speed of every live job), which the test-suite uses to
-   check the monotonicity lemmas (Lemma 7: per-job planned speeds never
-   decrease across replans) and which the Potential module consumes to
-   audit the Theorem 2 potential function numerically. *)
+   check the monotonicity lemmas and which the Potential module consumes
+   to audit the Theorem 2 potential function numerically. *)
 
 module Job = Ss_model.Job
 module Schedule = Ss_model.Schedule
+module Offline = Ss_core.Offline
 
 type plan = {
   at : float;                      (* replan (arrival) time *)
@@ -25,80 +36,101 @@ type plan = {
 type info = {
   replans : int;            (* offline recomputations (one per arrival time) *)
   total_rounds : int;       (* max-flow computations across all replans *)
+  resumes : int;            (* rounds answered by warm-started resumes *)
+  grouped_rounds : int;     (* failed rounds clearing > 1 victim (session) *)
+  carried_jobs : int;       (* live jobs carried over from a prior replan *)
+  monotone_carried : int;   (* carried jobs whose planned speed never dropped *)
+  arena_grows : int;        (* replans that had to grow the session arena *)
 }
 
 let default_tol = 1e-9
 
-let run_detailed ?(tol = default_tol) (inst : Job.instance) =
+let run_detailed ?(tol = default_tol) ?(incremental = true) (inst : Job.instance) =
   (match Job.validate inst with
   | [] -> ()
   | _ -> invalid_arg "Oa.run: invalid instance");
-  let n = Array.length inst.jobs in
-  let done_work = Array.make n 0. in
-  let events = Array.of_list (Engine.arrival_times inst) in
-  let horizon_end = snd (Job.horizon inst) in
-  let segments = ref [] in
+  let session =
+    if incremental then Some (Offline.F.Session.create ~machines:inst.machines)
+    else None
+  in
   let plans = ref [] in
   let replans = ref 0 in
   let total_rounds = ref 0 in
-  Array.iteri
-    (fun e now ->
-      let upto = if e + 1 < Array.length events then events.(e + 1) else horizon_end in
-      (* Available unfinished work at [now]. *)
-      let live = ref [] in
-      for i = n - 1 downto 0 do
-        let j = inst.jobs.(i) in
-        let remaining = j.work -. done_work.(i) in
-        if j.release <= now && not (Engine.finished ~tol ~work:j.work ~done_:done_work.(i))
-        then begin
-          if j.deadline <= now then failwith "Oa.run: job past deadline (drift bug)";
-          live := (i, remaining, j.deadline) :: !live
-        end
-      done;
-      match !live with
-      | [] -> ()
-      | live ->
-        incr replans;
-        let sub_jobs =
-          Array.of_list
-            (List.map
-               (fun (_, remaining, deadline) ->
-                 { Ss_core.Offline.F.release = now; deadline; work = remaining })
-               live)
-        in
-        let ids = Array.of_list (List.map (fun (i, _, _) -> i) live) in
-        let plan = Ss_core.Offline.F.solve ~machines:inst.machines sub_jobs in
-        total_rounds := !total_rounds + plan.stats.rounds;
-        (* Planned speed of every live job (its class speed). *)
-        let job_speeds =
-          List.concat_map
-            (fun (ph : Ss_core.Offline.F.phase) ->
-              List.map (fun local -> (ids.(local), ph.speed)) ph.members)
-            plan.schedule_phases
-          |> List.sort compare
-        in
-        plans := { at = now; upto; job_speeds } :: !plans;
-        let sched = Ss_core.Offline.schedule_of_run ~machines:inst.machines plan in
-        (* Follow the plan until the next arrival; remap to original ids. *)
-        let slice =
-          Engine.clip_segments ~lo:now ~hi:upto (Array.to_list (Schedule.segments sched))
-          |> List.map (fun (s : Schedule.segment) -> { s with job = ids.(s.job) })
-        in
-        Engine.charge_work done_work slice;
-        segments := slice :: !segments)
-    events;
-  let schedule = Schedule.make ~machines:inst.machines (List.concat !segments) in
-  (schedule, { replans = !replans; total_rounds = !total_rounds }, List.rev !plans)
+  let resumes = ref 0 in
+  let planner ~now ~upto (live : Engine.live array) =
+    incr replans;
+    let sub_jobs =
+      Array.map
+        (fun (l : Engine.live) ->
+          { Offline.F.release = now; deadline = l.deadline; work = l.remaining })
+        live
+    in
+    let ids = Array.map (fun (l : Engine.live) -> l.id) live in
+    let run =
+      match session with
+      | Some s -> Offline.F.Session.solve ~keys:ids s sub_jobs
+      | None -> Offline.F.solve ~machines:inst.machines sub_jobs
+    in
+    total_rounds := !total_rounds + run.stats.rounds;
+    resumes := !resumes + run.stats.resumes;
+    (* Planned speed of every live job (its class speed). *)
+    let job_speeds =
+      List.concat_map
+        (fun (ph : Offline.F.phase) ->
+          List.map (fun local -> (ids.(local), ph.speed)) ph.members)
+        run.schedule_phases
+      |> List.sort compare
+    in
+    plans := { at = now; upto; job_speeds } :: !plans;
+    (* Follow the plan until the next arrival; remap to original ids. *)
+    let slice =
+      match session with
+      | Some _ ->
+        (* Sessions materialize only the followed slice of the plan. *)
+        Offline.slice_of_run ~machines:inst.machines run ~lo:now ~hi:upto
+      | None ->
+        let sched = Offline.schedule_of_run ~machines:inst.machines run in
+        Engine.clip_segments ~lo:now ~hi:upto (Array.to_list (Schedule.segments sched))
+    in
+    List.map (fun (s : Schedule.segment) -> { s with job = ids.(s.job) }) slice
+  in
+  let schedule = Engine.replan_fold ~tol ~plan:planner inst in
+  let info =
+    match session with
+    | Some s ->
+      let st = Offline.F.Session.stats s in
+      {
+        replans = !replans;
+        total_rounds = !total_rounds;
+        resumes = !resumes;
+        grouped_rounds = st.grouped_rounds;
+        carried_jobs = st.carried_jobs;
+        monotone_carried = st.monotone_carried;
+        arena_grows = st.arena_grows;
+      }
+    | None ->
+      {
+        replans = !replans;
+        total_rounds = !total_rounds;
+        resumes = !resumes;
+        grouped_rounds = 0;
+        carried_jobs = 0;
+        monotone_carried = 0;
+        arena_grows = 0;
+      }
+  in
+  (schedule, info, List.rev !plans)
 
-let run ?tol inst =
-  let schedule, info, _ = run_detailed ?tol inst in
+let run ?tol ?incremental inst =
+  let schedule, info, _ = run_detailed ?tol ?incremental inst in
   (schedule, info)
 
-let schedule ?tol inst =
-  let s, _, _ = run_detailed ?tol inst in
+let schedule ?tol ?incremental inst =
+  let s, _, _ = run_detailed ?tol ?incremental inst in
   s
 
-let energy ?tol power inst = Schedule.energy power (schedule ?tol inst)
+let energy ?tol ?incremental power inst =
+  Schedule.energy power (schedule ?tol ?incremental inst)
 
 (* Theorem 2 guarantee. *)
 let competitive_bound ~alpha =

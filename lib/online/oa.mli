@@ -15,18 +15,48 @@ type plan = {
 type info = {
   replans : int;
   total_rounds : int;  (** max-flow computations across all replans *)
+  resumes : int;
+      (** rounds answered by in-place arena rewinds instead of network
+          rebuilds (session path only) *)
+  grouped_rounds : int;
+      (** failed rounds that cleared more than one Lemma 4 victim at once
+          (session path only) *)
+  carried_jobs : int;
+      (** live jobs carried over from an earlier replan (session path) *)
+  monotone_carried : int;
+      (** carried jobs whose planned speed never decreased — Lemma 7
+          predicts [monotone_carried = carried_jobs] *)
+  arena_grows : int;  (** replans that had to grow the session arena *)
 }
 
 val run_detailed :
-  ?tol:float -> Ss_model.Job.instance -> Ss_model.Schedule.t * info * plan list
+  ?tol:float ->
+  ?incremental:bool ->
+  Ss_model.Job.instance ->
+  Ss_model.Schedule.t * info * plan list
 (** Full simulation plus the replanning history (consumed by the
-    Lemma 7/8 checks and the {!Potential} audit). *)
+    Lemma 7/8 checks and the {!Potential} audit).  [incremental] (default
+    [true]) replans on a cross-arrival solver session — one persistent
+    flow arena and workspace, grouped Lemma 4 removals, slice-only
+    materialization; [false] replays the scratch path (a fresh solver per
+    arrival).  Both produce identical schedules and plans. *)
 
-val run : ?tol:float -> Ss_model.Job.instance -> Ss_model.Schedule.t * info
+val run :
+  ?tol:float ->
+  ?incremental:bool ->
+  Ss_model.Job.instance ->
+  Ss_model.Schedule.t * info
 (** @raise Invalid_argument on invalid instances. *)
 
-val schedule : ?tol:float -> Ss_model.Job.instance -> Ss_model.Schedule.t
-val energy : ?tol:float -> Ss_model.Power.t -> Ss_model.Job.instance -> float
+val schedule :
+  ?tol:float -> ?incremental:bool -> Ss_model.Job.instance -> Ss_model.Schedule.t
+
+val energy :
+  ?tol:float ->
+  ?incremental:bool ->
+  Ss_model.Power.t ->
+  Ss_model.Job.instance ->
+  float
 
 val competitive_bound : alpha:float -> float
 (** [alpha ** alpha]. *)

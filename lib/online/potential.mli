@@ -34,7 +34,9 @@ type audit = {
   energy_opt : float;
 }
 
-val audit : alpha:float -> Ss_model.Job.instance -> audit
-(** @raise Invalid_argument when [alpha <= 1]. *)
+val audit : ?incremental:bool -> alpha:float -> Ss_model.Job.instance -> audit
+(** [incremental] selects the OA replanning path to audit (session by
+    default; see {!Oa.run_detailed}).
+    @raise Invalid_argument when [alpha <= 1]. *)
 
 val holds : ?tol:float -> audit -> bool

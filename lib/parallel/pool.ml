@@ -28,12 +28,18 @@ let map ?domains f arr =
       let error = Atomic.make None in
       let worker () =
         let rec loop () =
-          let i = Atomic.fetch_and_add next 1 in
-          if i < n && Atomic.get error = None then begin
-            (match f arr.(i) with
-            | v -> results.(i) <- Some v
-            | exception e -> ignore (Atomic.compare_and_set error None (Some e)));
-            loop ()
+          (* Check for a captured error BEFORE claiming an index: once a
+             worker fails, no domain starts another evaluation (it would
+             be wasted work, and with an expensive or effectful [f] the
+             stragglers could outlive the caller's interest). *)
+          if Atomic.get error = None then begin
+            let i = Atomic.fetch_and_add next 1 in
+            if i < n then begin
+              (match f arr.(i) with
+              | v -> results.(i) <- Some v
+              | exception e -> ignore (Atomic.compare_and_set error None (Some e)));
+              loop ()
+            end
           end
         in
         loop ()

@@ -1,0 +1,181 @@
+(* Cross-arrival solver sessions: agreement and ledger tests.
+
+   The session OA path (a persistent Offline.F.Session plus slice-only
+   materialization) is engineered to be *bit-identical* to the scratch
+   path (a fresh solver and a full materialization per arrival): grouped
+   Lemma 4 removals and in-place rewinds reach the same phase partition
+   (the unique fixed point), the accepted flows are canonical, and
+   [slice_of_run] replicates the segment order of clip-after-materialize.
+   These tests pin all of that down, plus the Lemma 7 speed ledger. *)
+
+module Job = Ss_model.Job
+module Schedule = Ss_model.Schedule
+module Oa = Ss_online.Oa
+module Engine = Ss_online.Engine
+module G = Ss_workload.Generators
+module O = Ss_core.Offline
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* A spread of workloads and machine counts for the agreement suite. *)
+let traces =
+  [
+    ("poisson m=4 n=60", G.poisson ~seed:11 ~machines:4 ~jobs:60 ~rate:1.2 ~mean_work:2.5 ~slack:2.5 ());
+    ("poisson m=2 n=30", G.poisson ~seed:5 ~machines:2 ~jobs:30 ~rate:0.8 ~mean_work:1.5 ~slack:3. ());
+    ("uniform m=1 n=20", G.uniform ~seed:3 ~machines:1 ~jobs:20 ~horizon:25. ~max_work:4. ());
+    ("uniform m=3 n=24", G.uniform ~seed:17 ~machines:3 ~jobs:24 ~horizon:18. ~max_work:5. ());
+    ("bursty m=2 n=32", G.bursty ~seed:29 ~machines:2 ~bursts:4 ~jobs_per_burst:8 ~gap:5. ~max_work:3. ());
+    ("heavy m=5 n=40", G.heavy_tailed ~seed:41 ~machines:5 ~jobs:40 ~horizon:30. ~shape:1.8 ());
+  ]
+
+(* --- session OA == scratch OA ------------------------------------------ *)
+
+let test_session_matches_scratch () =
+  List.iter
+    (fun (name, inst) ->
+      let s_inc, _, plans_inc = Oa.run_detailed ~incremental:true inst in
+      let s_scr, _, plans_scr = Oa.run_detailed ~incremental:false inst in
+      check_bool
+        (name ^ ": schedules bit-identical")
+        true
+        (Schedule.segments s_inc = Schedule.segments s_scr);
+      check_bool (name ^ ": plans bit-identical") true (plans_inc = plans_scr))
+    traces
+
+let prop_session_matches_scratch =
+  QCheck.Test.make ~count:25 ~name:"session OA == scratch OA on random traces"
+    QCheck.(pair (int_range 1 5) small_nat)
+    (fun (machines, salt) ->
+      let inst =
+        G.uniform ~seed:((salt * 7919) + 13) ~machines ~jobs:(6 + (salt mod 18))
+          ~horizon:16. ~max_work:4. ()
+      in
+      let s_inc, _ = Oa.run ~incremental:true inst in
+      let s_scr, _ = Oa.run ~incremental:false inst in
+      Schedule.segments s_inc = Schedule.segments s_scr)
+
+(* --- Session.solve == solve, solve after solve ------------------------- *)
+
+let same_run (a : O.F.run) (b : O.F.run) =
+  a.breakpoints = b.breakpoints
+  && List.length a.schedule_phases = List.length b.schedule_phases
+  && List.for_all2
+       (fun (p : O.F.phase) (q : O.F.phase) ->
+         p.members = q.members && p.speed = q.speed && p.procs = q.procs
+         && p.alloc = q.alloc)
+       a.schedule_phases b.schedule_phases
+
+let test_session_solve_agrees_across_solves () =
+  (* Feed a session a sequence of overlapping sub-instances (growing
+     prefixes of a workload); every run must equal a fresh solve of the
+     same jobs, even though the session reuses one arena throughout. *)
+  let inst = G.poisson ~seed:23 ~machines:3 ~jobs:25 ~rate:1. ~mean_work:2. ~slack:2.5 () in
+  let jobs =
+    Array.map
+      (fun (j : Job.t) ->
+        { O.F.release = j.release; deadline = j.deadline; work = j.work })
+      inst.jobs
+  in
+  let session = O.F.Session.create ~machines:3 in
+  for k = 1 to Array.length jobs do
+    let prefix = Array.sub jobs 0 k in
+    let keys = Array.init k Fun.id in
+    let from_session = O.F.Session.solve ~keys session prefix in
+    let from_scratch = O.F.solve ~machines:3 prefix in
+    check_bool
+      (Printf.sprintf "prefix %d: session run == scratch run" k)
+      true
+      (same_run from_session from_scratch)
+  done;
+  let stats = O.F.Session.stats session in
+  check_int "one solve per prefix" (Array.length jobs) stats.solves
+
+(* --- slice_of_run == clip(schedule_of_run) ----------------------------- *)
+
+let test_slice_equals_clipped_materialization () =
+  List.iter
+    (fun (name, (inst : Job.instance)) ->
+      let run = O.run inst in
+      let machines = inst.machines in
+      let full =
+        Array.to_list (Schedule.segments (O.schedule_of_run ~machines run))
+      in
+      let times = Array.to_list run.breakpoints in
+      let lo_hi =
+        (* grid-aligned windows plus off-grid ones *)
+        (match times with
+        | t0 :: _ ->
+          let tn = List.nth times (List.length times - 1) in
+          let mid = 0.5 *. (t0 +. tn) in
+          [ (t0, tn); (t0, mid); (mid, tn); (t0 +. 0.3, mid +. 0.1) ]
+        | [] -> [])
+        @
+        match times with
+        | a :: b :: _ -> [ (a, b) ]
+        | _ -> []
+      in
+      List.iter
+        (fun (lo, hi) ->
+          if hi > lo then
+            check_bool
+              (Printf.sprintf "%s: slice [%g,%g) == clip" name lo hi)
+              true
+              (O.slice_of_run ~machines run ~lo ~hi
+              = Engine.clip_segments ~lo ~hi full))
+        lo_hi)
+    traces
+
+(* --- the Lemma 7 ledger and the other session counters ----------------- *)
+
+let test_session_ledger () =
+  let inst = List.assoc "poisson m=4 n=60" traces in
+  let _, (info : Oa.info), _ = Oa.run_detailed ~incremental:true inst in
+  check_bool "some jobs carried across replans" true (info.carried_jobs > 0);
+  check_int "Lemma 7: every carried job kept a monotone speed"
+    info.carried_jobs info.monotone_carried;
+  check_bool "replans happened" true (info.replans > 0);
+  check_bool "rounds at least one per replan" true
+    (info.total_rounds >= info.replans);
+  (* The arena is grow-only: once warm it stops growing (far fewer grows
+     than replans). *)
+  check_bool
+    (Printf.sprintf "arena grows (%d) << replans (%d)" info.arena_grows
+       info.replans)
+    true
+    (info.arena_grows < info.replans / 2)
+
+let test_scratch_reports_no_session_counters () =
+  let inst = List.assoc "uniform m=3 n=24" traces in
+  let _, (info : Oa.info), _ = Oa.run_detailed ~incremental:false inst in
+  check_int "no carried jobs on the scratch path" 0 info.carried_jobs;
+  check_int "no grouped rounds on the scratch path" 0 info.grouped_rounds
+
+let test_session_create_validates () =
+  Alcotest.check_raises "machines = 0 rejected"
+    (Invalid_argument "Offline.Session.create: machines <= 0") (fun () ->
+      ignore (O.F.Session.create ~machines:0))
+
+let () =
+  Alcotest.run "oa_session"
+    [
+      ( "agreement",
+        [
+          Alcotest.test_case "session == scratch on fixed traces" `Quick
+            test_session_matches_scratch;
+          QCheck_alcotest.to_alcotest prop_session_matches_scratch;
+          Alcotest.test_case "Session.solve == solve across solves" `Quick
+            test_session_solve_agrees_across_solves;
+          Alcotest.test_case "slice == clipped materialization" `Quick
+            test_slice_equals_clipped_materialization;
+        ] );
+      ( "ledger",
+        [
+          Alcotest.test_case "Lemma 7 ledger and counters" `Quick
+            test_session_ledger;
+          Alcotest.test_case "scratch path has no session counters" `Quick
+            test_scratch_reports_no_session_counters;
+          Alcotest.test_case "create validates machines" `Quick
+            test_session_create_validates;
+        ] );
+    ]

@@ -84,6 +84,36 @@ let prop_oa_energy_monotone_in_jobs =
       let big = Oa.energy p inst and small = Oa.energy p smaller in
       big >= small -. (1e-6 *. small))
 
+(* Lemma 7 proper, per job: across successive replans, a live job's planned
+   constant speed never decreases (work only accumulates, so each replan
+   faces at least the density of the last).  Checked on both the session
+   and the scratch replanning paths via the plan history. *)
+let per_job_speeds_monotone (plans : Oa.plan list) =
+  let last : (int, float) Hashtbl.t = Hashtbl.create 16 in
+  List.for_all
+    (fun (p : Oa.plan) ->
+      List.for_all
+        (fun (id, s) ->
+          let ok =
+            match Hashtbl.find_opt last id with
+            | Some prev -> s >= prev -. (1e-9 *. Float.max 1. prev)
+            | None -> true
+          in
+          Hashtbl.replace last id s;
+          ok)
+        p.job_speeds)
+    plans
+
+let prop_oa_lemma7_speeds_monotone =
+  QCheck.Test.make ~count:30
+    ~name:"Lemma 7: per-job planned speeds non-decreasing (both paths)"
+    QCheck.small_nat
+    (fun seed ->
+      let inst = random_instance (seed + 800) in
+      let _, _, plans_session = Oa.run_detailed ~incremental:true inst in
+      let _, _, plans_scratch = Oa.run_detailed ~incremental:false inst in
+      per_job_speeds_monotone plans_session && per_job_speeds_monotone plans_scratch)
+
 (* Independent reference for OA at m = 1: replan with YDS at every arrival
    and charge the executed prefix — no flow machinery involved. *)
 let oa1_reference_energy alpha (inst : Job.instance) =
@@ -469,6 +499,7 @@ let () =
             prop_oa_feasible;
             prop_oa_within_bound;
             prop_oa_energy_monotone_in_jobs;
+            prop_oa_lemma7_speeds_monotone;
             prop_oa1_matches_reference;
             prop_avr_feasible;
             prop_avr_within_bound;

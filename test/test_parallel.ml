@@ -60,6 +60,29 @@ let test_error_skips_remaining_without_leak () =
   | exception e -> Alcotest.failf "wrong exception %s" (Printexc.to_string e)
   | _ -> Alcotest.fail "expected Boom 7"
 
+(* Regression: an exception must halt the pool BEFORE workers claim more
+   indices — a failing early element leaves the bulk of a large input
+   unevaluated (each live domain may finish at most the evaluation it had
+   already started when the error landed). *)
+let test_error_halts_before_next_claim () =
+  let n = 20_000 in
+  let arr = Array.init n Fun.id in
+  let evaluated = Atomic.make 0 in
+  let f x =
+    ignore (Atomic.fetch_and_add evaluated 1);
+    if x = 3 then raise (Boom x);
+    x
+  in
+  (match Pool.map ~domains:4 f arr with
+  | exception Boom 3 -> ()
+  | exception e -> Alcotest.failf "wrong exception %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "expected Boom 3");
+  let seen = Atomic.get evaluated in
+  check_bool
+    (Printf.sprintf "halted early (evaluated %d of %d)" seen n)
+    true
+    (seen < n / 2)
+
 (* Regression: [mapi] must deliver each index to the worker function and
    land every output at its input's slot, whatever the domain count. *)
 let test_mapi_preserves_index_order () =
@@ -108,6 +131,8 @@ let () =
           Alcotest.test_case "map_reduce" `Quick test_map_reduce;
           Alcotest.test_case "all" `Quick test_all;
           Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+          Alcotest.test_case "error halts before next claim" `Quick
+            test_error_halts_before_next_claim;
           Alcotest.test_case "error skips remaining, no missing-result leak" `Quick
             test_error_skips_remaining_without_leak;
           Alcotest.test_case "mapi preserves index order under domains" `Quick

@@ -1,0 +1,131 @@
+(* Compare two machine-readable bench reports (BENCH_*.json / the
+   bench_smoke.json emitted on every test run) without any external JSON
+   tooling.
+
+     perf_diff [--threshold FRAC] OLD.json NEW.json
+
+   Benchmarks present in both files are compared by [ns_per_run]; any that
+   slowed down by more than FRAC (default 0.25, i.e. 25%) is a regression
+   and makes the exit status 1.  The solver and online sections are
+   diffed informationally (counter drift is interesting but never fatal:
+   timings there are medians-of-3, too noisy to gate on). *)
+
+module Json = Ss_numeric.Json
+
+let threshold = ref 0.25
+let files = ref []
+
+let () =
+  let rec parse = function
+    | [] -> ()
+    | "--threshold" :: v :: rest ->
+      (match float_of_string_opt v with
+      | Some f when f > 0. -> threshold := f
+      | _ ->
+        prerr_endline "perf_diff: --threshold expects a positive number";
+        exit 2);
+      parse rest
+    | x :: rest ->
+      files := x :: !files;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv))
+
+let load file =
+  match In_channel.with_open_text file In_channel.input_all with
+  | exception Sys_error msg ->
+    Printf.eprintf "perf_diff: %s\n" msg;
+    exit 2
+  | text -> (
+    match Json.of_string text with
+    | doc -> doc
+    | exception Json.Parse_error (pos, msg) ->
+      Printf.eprintf "perf_diff: %s: parse error at byte %d: %s\n" file pos msg;
+      exit 2)
+
+(* [section doc name key] → assoc list of (row name, numeric fields). *)
+let section doc name ~label =
+  match Json.member name doc with
+  | Some rows -> (
+    match Json.to_list_opt rows with
+    | Some rows ->
+      List.filter_map
+        (fun row ->
+          match Json.member label row with
+          | Some id -> (
+            match Json.to_string_opt id with Some id -> Some (id, row) | None -> None)
+          | None -> None)
+        rows
+    | None -> [])
+  | None -> []
+
+let field key row =
+  match Json.member key row with Some v -> Json.to_float_opt v | None -> None
+
+let pct r = (r -. 1.) *. 100.
+
+let () =
+  match List.rev !files with
+  | [ old_file; new_file ] ->
+    let old_doc = load old_file and new_doc = load new_file in
+    let old_b = section old_doc "benchmarks" ~label:"name" in
+    let new_b = section new_doc "benchmarks" ~label:"name" in
+    let regressions = ref 0 in
+    let compared = ref 0 in
+    Printf.printf "perf diff: %s -> %s (threshold %.0f%%)\n\n" old_file new_file
+      (100. *. !threshold);
+    Printf.printf "%-42s %12s %12s %9s\n" "benchmark" "old" "new" "change";
+    List.iter
+      (fun (name, old_row) ->
+        match List.assoc_opt name new_b with
+        | None -> ()
+        | Some new_row -> (
+          match (field "ns_per_run" old_row, field "ns_per_run" new_row) with
+          | Some o, Some n when o > 0. ->
+            incr compared;
+            let ratio = n /. o in
+            let flag =
+              if ratio > 1. +. !threshold then (
+                incr regressions;
+                "  REGRESSION")
+              else ""
+            in
+            Printf.printf "%-42s %10.0fns %10.0fns %+8.1f%%%s\n" name o n (pct ratio) flag
+          | _ -> ()))
+      old_b;
+    if !compared = 0 then begin
+      Printf.printf "no shared benchmarks to compare\n";
+      exit 2
+    end;
+    (* Informational: solver and online session counters / speedups. *)
+    List.iter
+      (fun (sec, keys) ->
+        let old_s = section old_doc sec ~label:"instance" in
+        let new_s = section new_doc sec ~label:"instance" in
+        List.iter
+          (fun (name, old_row) ->
+            match List.assoc_opt name new_s with
+            | None -> ()
+            | Some new_row ->
+              Printf.printf "\n%s %s:" sec name;
+              List.iter
+                (fun key ->
+                  match (field key old_row, field key new_row) with
+                  | Some o, Some n -> Printf.printf " %s %g->%g" key o n
+                  | _ -> ())
+                keys;
+              print_newline ())
+          old_s)
+      [
+        ("solver", [ "rounds"; "resumes"; "speedup" ]);
+        ("online", [ "replans"; "rounds"; "resumes"; "carried_jobs"; "speedup" ]);
+      ];
+    if !regressions > 0 then begin
+      Printf.printf "\n%d benchmark(s) regressed by more than %.0f%%\n" !regressions
+        (100. *. !threshold);
+      exit 1
+    end
+    else Printf.printf "\nok: %d benchmark(s) within threshold\n" !compared
+  | _ ->
+    prerr_endline "usage: perf_diff [--threshold FRAC] OLD.json NEW.json";
+    exit 2
