@@ -20,19 +20,20 @@ bench-output:
 	dune exec bench/main.exe 2>&1 | tee bench_output.txt
 
 # Machine-readable perf snapshot (per-benchmark ns/run + solver round and
-# resume counters + the online scratch-vs-session section); regenerates
-# BENCH_2.json for the perf trajectory.
+# resume counters + the online scratch-vs-session section + the
+# decomposition speedup section); regenerates BENCH_3.json for the perf
+# trajectory.
 bench-json:
-	dune exec bench/main.exe -- micro --json BENCH_2.json
+	dune exec bench/main.exe -- micro --json BENCH_3.json
 
 # Tiny-quota run of the same pipeline (also wired into `dune runtest`).
 bench-smoke:
 	dune build @bench-smoke
 
 # Compare two bench snapshots without jq; exits 1 on a >25% regression.
-#   make perf-diff OLD=BENCH_1.json NEW=BENCH_2.json
-OLD ?= BENCH_1.json
-NEW ?= BENCH_2.json
+#   make perf-diff OLD=BENCH_2.json NEW=BENCH_3.json
+OLD ?= BENCH_2.json
+NEW ?= BENCH_3.json
 perf-diff:
 	dune exec tools/perf_diff.exe -- $(OLD) $(NEW)
 

@@ -41,12 +41,18 @@ let micro_tests () =
   let lp_inst =
     Ss_workload.Generators.uniform ~seed:6 ~machines:2 ~jobs:6 ~horizon:10. ~max_work:3. ()
   in
+  let clustered120 =
+    Ss_workload.Generators.clustered ~seed:19 ~machines:4 ~clusters:6 ~jobs_per_cluster:20
+      ~cluster_span:12. ~gap:4. ~max_work:5. ()
+  in
   let power = Ss_model.Power.alpha 3. in
   let big = Ss_numeric.Bigint.of_string (String.make 70 '7') in
   Test.make_grouped ~name:"speedscale"
     [
       Test.make ~name:"offline/n=30,m=4" (Staged.stage (fun () -> Ss_core.Offline.run offline30));
       Test.make ~name:"offline/n=60,m=4" (Staged.stage (fun () -> Ss_core.Offline.run offline60));
+      Test.make ~name:"offline-clustered/n=120,m=4"
+        (Staged.stage (fun () -> Ss_core.Offline.run clustered120));
       Test.make ~name:"offline-exact/n=8" (Staged.stage (fun () ->
           Ss_core.Offline.solve_exact
             (Ss_workload.Generators.uniform ~seed:7 ~machines:2 ~jobs:8 ~horizon:12. ~max_work:4. ())));
@@ -153,7 +159,39 @@ let online_counters ~smoke =
       (name, info, t_scratch, t_session))
     specs
 
-let emit_json ~file ~mode rows counters online =
+(* Decomposition layer on clustered workloads: component counts and
+   undecomposed vs decomposed (sequential and domain-dispatched) solve
+   times — the numbers behind the PR 4 perf_opt acceptance criterion.
+   On a single-core container the parallel and sequential decomposed
+   times coincide (Pool runs inline); the speedup then comes entirely
+   from the superlinear max-flow win of solving k small components. *)
+let decomposition_counters ~smoke =
+  let specs =
+    if smoke then [ ("clustered/n=24,m=4,k=3", 17, 3, 8) ]
+    else [ ("clustered/n=120,m=4,k=6", 19, 6, 20); ("clustered/n=60,m=4,k=3", 23, 3, 20) ]
+  in
+  List.map
+    (fun (name, seed, clusters, per) ->
+      let inst =
+        Ss_workload.Generators.clustered ~seed ~machines:4 ~clusters
+          ~jobs_per_cluster:per ~cluster_span:12. ~gap:4. ~max_work:5. ()
+      in
+      let components = Ss_core.Offline.component_count inst in
+      let timed f =
+        ignore (f ());
+        Ss_experiments.Common.time_median f
+      in
+      let t_undec = timed (fun () -> ignore (Ss_core.Offline.run ~decompose:false inst)) in
+      let t_seq =
+        timed (fun () -> ignore (Ss_core.Offline.run ~decompose:true ~parallel:false inst))
+      in
+      let t_par =
+        timed (fun () -> ignore (Ss_core.Offline.run ~decompose:true ~parallel:true inst))
+      in
+      (name, components, t_undec, t_seq, t_par))
+    specs
+
+let emit_json ~file ~mode rows counters online decomposition =
   let open Ss_numeric.Json in
   let num x = if Float.is_finite x then Num x else Null in
   let benchmarks =
@@ -199,6 +237,23 @@ let emit_json ~file ~mode rows counters online =
              ])
          online)
   in
+  let decomposition_section =
+    Arr
+      (List.map
+         (fun (name, components, t_undec, t_seq, t_par) ->
+           Obj
+             [
+               ("instance", Str name);
+               ("components", Num (float_of_int components));
+               ("domains", Num (float_of_int (Ss_parallel.Pool.default_domains ())));
+               ("undecomposed_ms", num t_undec);
+               ("sequential_ms", num t_seq);
+               ("parallel_ms", num t_par);
+               ("seq_speedup", num (t_undec /. Float.max 1e-9 t_seq));
+               ("speedup", num (t_undec /. Float.max 1e-9 t_par));
+             ])
+         decomposition)
+  in
   let doc =
     Obj
       [
@@ -207,6 +262,7 @@ let emit_json ~file ~mode rows counters online =
         ("benchmarks", benchmarks);
         ("solver", solver);
         ("online", online_section);
+        ("decomposition", decomposition_section);
       ]
   in
   Out_channel.with_open_text file (fun oc ->
@@ -260,6 +316,7 @@ let run_micro ?json_file ?(smoke = false) () =
     emit_json ~file
       ~mode:(if smoke then "smoke" else "micro")
       rows (solver_counters ~smoke) (online_counters ~smoke)
+      (decomposition_counters ~smoke)
 
 let usage () =
   Printf.printf "usage: main.exe [tables | micro | smoke | <experiment id>] [--json FILE]\n";

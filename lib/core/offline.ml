@@ -613,13 +613,233 @@ struct
         };
     }
 
+  (* --- instance decomposition (zero-coverage cuts) ----------------------
+     A grid point crossed by no job window is a cut: the Fig. 1 network has
+     no job->interval edge across it, so the max-flow questions — and with
+     them Lemmas 1-4 and the whole phase construction — factor into the
+     connected components of the job-window interval graph.  Solving the
+     components independently and concatenating their phase lists yields
+     the global optimum; re-sorting by decreasing speed restores the
+     paper's presentation order.
+
+     The per-component solves are bit-identical to what the global solver
+     produces for the same classes whenever no speed class spans two
+     components (speeds are generic floats, so cross-component bitwise
+     ties essentially never happen outside hand-built instances): a
+     component's event times are a contiguous slice of the global grid,
+     zero-reservation foreign intervals contribute exact +0.0 terms to the
+     global speed sums, and the accepted flows are canonical Dinic runs on
+     networks with identical vertex/edge insertion order.  When two
+     components do tie bitwise, the merge coalesces their phases into one
+     class, which matches the global class's members and reservations; the
+     global solver would have re-derived the (mathematically equal) merged
+     speed with a differently-ordered float sum, the one place where
+     decomposition can diverge in the last bit. *)
+
+  (* Split jobs into independent components: sweep in release order,
+     cutting whenever the next release is at or past the furthest deadline
+     seen (touching at a point is a cut — no window strictly contains it).
+     Returns the components in time order, each an ascending array of
+     indices into [jobs], so per-component solves visit jobs in the same
+     order as the global solver. *)
+  let components (jobs : job array) =
+    let n = Array.length jobs in
+    if n = 0 then []
+    else begin
+      let order = Array.init n Fun.id in
+      Array.sort
+        (fun a b ->
+          match F.compare jobs.(a).release jobs.(b).release with
+          | 0 -> compare a b
+          | c -> c)
+        order;
+      let comps = ref [] in
+      let current = ref [ order.(0) ] in
+      let cur_end = ref jobs.(order.(0)).deadline in
+      for idx = 1 to n - 1 do
+        let i = order.(idx) in
+        if F.compare jobs.(i).release !cur_end >= 0 then begin
+          comps := !current :: !comps;
+          current := [ i ];
+          cur_end := jobs.(i).deadline
+        end
+        else begin
+          current := i :: !current;
+          cur_end := F.max !cur_end jobs.(i).deadline
+        end
+      done;
+      comps := !current :: !comps;
+      List.rev_map
+        (fun ids ->
+          let a = Array.of_list ids in
+          Array.sort compare a;
+          a)
+        !comps
+    end
+
+  (* Remap a component phase onto the global grid: job indices through the
+     component's [ids], interval indices shifted by the component's offset
+     into the global breakpoint array. *)
+  let stitch_phase ~k ~off ~(ids : int array) (p : phase) =
+    let procs = Array.make k 0 in
+    Array.blit p.procs 0 procs off (Array.length p.procs);
+    {
+      members = List.map (fun i -> ids.(i)) p.members;
+      speed = p.speed;
+      procs;
+      alloc = List.map (fun (i, j, t) -> (ids.(i), j + off, t)) p.alloc;
+    }
+
+  (* Threshold below which domain dispatch is not worth the spawn cost. *)
+  let parallel_threshold = 24
+
+  let solve_split ?flow_algorithm ?victim_rule ?(strategy = Resume)
+      ?(group_removal = false) ?on_flow ?parallel ~ws_for ~machines
+      (jobs : job array) =
+    (* Validate up front (as [solve_in] would) so malformed inputs are
+       rejected before any component dispatch. *)
+    if machines <= 0 then invalid_arg "Offline.solve: machines <= 0";
+    Array.iter
+      (fun j ->
+        if F.compare j.release j.deadline >= 0 then
+          invalid_arg "Offline.solve: release >= deadline";
+        if F.sign j.work <= 0 then invalid_arg "Offline.solve: work <= 0")
+      jobs;
+    let solve_whole () =
+      solve_in ?flow_algorithm ?victim_rule ~strategy ~group_removal ?on_flow
+        ~ws:(ws_for 0) ~machines jobs
+    in
+    match components jobs with
+    | [] | [ _ ] -> solve_whole ()
+    | comps ->
+      let breakpoints = sort_uniq_times jobs in
+      let k = Array.length breakpoints - 1 in
+      let index_of t =
+        let lo = ref 0 and hi = ref (Array.length breakpoints - 1) in
+        while !lo < !hi do
+          let mid = (!lo + !hi) / 2 in
+          if F.compare breakpoints.(mid) t < 0 then lo := mid + 1 else hi := mid
+        done;
+        !lo
+      in
+      let comps = Array.of_list comps in
+      (* A component's event times must be a contiguous slice of the global
+         grid (they are, by construction: components are time-disjoint and
+         every event is a component event).  Checked defensively; on any
+         mismatch fall back to the undecomposed path rather than merge onto
+         a wrong offset. *)
+      let sliced =
+        Array.map
+          (fun ids ->
+            let sub = Array.map (fun i -> jobs.(i)) ids in
+            let bp = sort_uniq_times sub in
+            let off = index_of bp.(0) in
+            let ok =
+              off + Array.length bp <= Array.length breakpoints
+              &&
+              let same = ref true in
+              Array.iteri
+                (fun j t ->
+                  if F.compare breakpoints.(off + j) t <> 0 then same := false)
+                bp;
+              !same
+            in
+            (ids, sub, off, ok))
+          comps
+      in
+      if Array.exists (fun (_, _, _, ok) -> not ok) sliced then solve_whole ()
+      else begin
+        let nc = Array.length sliced in
+        (* Workspaces are claimed sequentially before dispatch — one per
+           component slot, so rewind state is never shared across domains. *)
+        let wss = Array.init nc ws_for in
+        let solve_comp slot =
+          let ids, sub, _, _ = sliced.(slot) in
+          match
+            solve_in ?flow_algorithm ?victim_rule ~strategy ~group_removal
+              ?on_flow ~ws:wss.(slot) ~machines sub
+          with
+          | r -> r
+          | exception Stranded_job local -> raise (Stranded_job ids.(local))
+        in
+        let use_parallel =
+          match parallel with
+          | Some b -> b
+          | None ->
+            (* [on_flow] is a caller closure observed per round; keep its
+               invocations on the calling domain and in component order. *)
+            on_flow = None && Array.length jobs >= parallel_threshold
+        in
+        let runs =
+          if use_parallel then
+            Ss_parallel.Pool.map solve_comp (Array.init nc Fun.id)
+          else Array.map solve_comp (Array.init nc Fun.id)
+        in
+        (* Canonical merge: stitch every component phase onto the global
+           grid, order by strictly decreasing speed (stable, so the
+           time-ordered component layout breaks exact ties), and coalesce
+           bitwise-equal speeds into a single class — what the global
+           solver's speed-class partition would contain. *)
+        let all =
+          List.concat
+            (List.map2
+               (fun (ids, _, off, _) (r : run) ->
+                 List.map (stitch_phase ~k ~off ~ids) r.schedule_phases)
+               (Array.to_list sliced) (Array.to_list runs))
+        in
+        let sorted =
+          List.stable_sort (fun a b -> F.compare b.speed a.speed) all
+        in
+        let rec coalesce = function
+          | a :: b :: rest when F.compare a.speed b.speed = 0 ->
+            coalesce
+              ({
+                 members = List.merge compare a.members b.members;
+                 speed = a.speed;
+                 procs = Array.init k (fun j -> a.procs.(j) + b.procs.(j));
+                 alloc =
+                   List.merge
+                     (fun (i1, j1, _) (i2, j2, _) -> compare (i1, j1) (i2, j2))
+                     a.alloc b.alloc;
+               }
+              :: rest)
+          | a :: rest -> a :: coalesce rest
+          | [] -> []
+        in
+        let schedule_phases = coalesce sorted in
+        (* Counters are summed; [phases] counts accepted conjectures (one
+           accepting flow each), so rounds = phases + removals survives the
+           merge even if a bitwise tie coalesced two classes above. *)
+        let sum f =
+          Array.fold_left (fun acc (r : run) -> acc + f r.stats) 0 runs
+        in
+        {
+          breakpoints;
+          schedule_phases;
+          stats =
+            {
+              phases = sum (fun s -> s.phases);
+              rounds = sum (fun s -> s.rounds);
+              resumes = sum (fun s -> s.resumes);
+              removals = sum (fun s -> s.removals);
+              grouped = sum (fun s -> s.grouped);
+            };
+        }
+      end
+
   (* The paper-facing entry point: a fresh workspace per call, single-victim
-     Lemma 4 removals — exactly the PR 1 behaviour. *)
-  let solve ?flow_algorithm ?victim_rule ?(incremental = true) ?on_flow
-      ~machines jobs =
-    solve_in ?flow_algorithm ?victim_rule
-      ~strategy:(if incremental then Resume else Rebuild)
-      ?on_flow ~ws:(make_workspace ()) ~machines jobs
+     Lemma 4 removals — exactly the PR 1 behaviour, now routed through the
+     decomposition layer by default. *)
+  let solve ?flow_algorithm ?victim_rule ?(incremental = true)
+      ?(decompose = true) ?parallel ?on_flow ~machines jobs =
+    let strategy = if incremental then Resume else Rebuild in
+    if decompose then
+      solve_split ?flow_algorithm ?victim_rule ~strategy ?on_flow ?parallel
+        ~ws_for:(fun _ -> make_workspace ())
+        ~machines jobs
+    else
+      solve_in ?flow_algorithm ?victim_rule ~strategy ?on_flow
+        ~ws:(make_workspace ()) ~machines jobs
 
   (* --- cross-arrival solver sessions (Section 3.1, Lemmas 6–9) ----------
      A session owns a persistent workspace (flow arena, breakpoint-grid
@@ -649,7 +869,11 @@ struct
 
     type t = {
       machines : int;
-      ws : workspace;
+      mutable pool : workspace array;
+          (* slot 0 is the primary arena; decomposed solves claim one
+             workspace per component slot (grown on demand, sequentially,
+             before any domain dispatch) so rewind state is never shared
+             across domains. *)
       prev_speed : (int, F.t) Hashtbl.t;
       mutable solves : int;
       mutable rounds : int;
@@ -664,7 +888,7 @@ struct
       if machines <= 0 then invalid_arg "Offline.Session.create: machines <= 0";
       {
         machines;
-        ws = make_workspace ();
+        pool = [| make_workspace () |];
         prev_speed = Hashtbl.create 64;
         solves = 0;
         rounds = 0;
@@ -677,7 +901,18 @@ struct
 
     let machines t = t.machines
 
-    let solve ?keys t jobs =
+    (* Claim the workspace for component slot [i], growing the pool if
+       needed.  Only called sequentially (before any parallel dispatch). *)
+    let ws_slot t i =
+      let len = Array.length t.pool in
+      if i >= len then
+        t.pool <-
+          Array.init
+            (max (i + 1) (2 * len))
+            (fun j -> if j < len then t.pool.(j) else make_workspace ());
+      t.pool.(i)
+
+    let solve ?keys ?(decompose = true) ?parallel t jobs =
       (match keys with
       | Some ks when Array.length ks <> Array.length jobs ->
         invalid_arg "Offline.Session.solve: keys length mismatch"
@@ -688,8 +923,12 @@ struct
          than per-victim path cancellation — and its flow is canonical
          already, so acceptance needs no re-extraction. *)
       let run =
-        solve_in ~strategy:Rewind ~group_removal:true ~ws:t.ws
-          ~machines:t.machines jobs
+        if decompose then
+          solve_split ~strategy:Rewind ~group_removal:true ?parallel
+            ~ws_for:(ws_slot t) ~machines:t.machines jobs
+        else
+          solve_in ~strategy:Rewind ~group_removal:true ~ws:t.pool.(0)
+            ~machines:t.machines jobs
       in
       t.solves <- t.solves + 1;
       t.rounds <- t.rounds + run.stats.rounds;
@@ -724,7 +963,7 @@ struct
         grouped_rounds = t.grouped_rounds;
         carried_jobs = t.carried_jobs;
         monotone_carried = t.monotone_carried;
-        arena_grows = t.ws.grows;
+        arena_grows = Array.fold_left (fun acc ws -> acc + ws.grows) 0 t.pool;
       }
   end
 
@@ -985,11 +1224,19 @@ let slice_of_run ~machines (run : F.run) ~lo ~hi =
          if t1 > t0 then Some { s with t0; t1 } else None)
   |> List.sort compare_segment
 
-let solve ?incremental (inst : Job.instance) =
+(* Number of independent sub-instances the decomposition layer splits the
+   instance into (1 = nothing to gain from decomposition). *)
+let component_count (inst : Job.instance) =
+  List.length (F.components (float_jobs inst))
+
+let solve ?incremental ?decompose ?parallel (inst : Job.instance) =
   (match Job.validate inst with
   | [] -> ()
   | _ -> invalid_arg "Offline.solve: invalid instance");
-  let run = F.solve ?incremental ~machines:inst.machines (float_jobs inst) in
+  let run =
+    F.solve ?incremental ?decompose ?parallel ~machines:inst.machines
+      (float_jobs inst)
+  in
   let schedule = schedule_of_run ~machines:inst.machines run in
   let info =
     {
@@ -1016,8 +1263,9 @@ let energy_of_run power (run : F.run) =
          Power.eval power p.speed *. F.phase_busy_time run p)
        run.schedule_phases)
 
-let run ?incremental (inst : Job.instance) =
-  F.solve ?incremental ~machines:inst.machines (float_jobs inst)
+let run ?incremental ?decompose ?parallel (inst : Job.instance) =
+  F.solve ?incremental ?decompose ?parallel ~machines:inst.machines
+    (float_jobs inst)
 
 (* Exact-rational replay: jobs are embedded exactly (floats are dyadic
    rationals) and the whole algorithm runs in exact arithmetic. *)

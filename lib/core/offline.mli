@@ -57,10 +57,19 @@ module MakeWith
 
   exception Stranded_job of int
 
+  val components : job array -> int array list
+  (** Split the jobs at zero-coverage grid points — points crossed by no
+      job window — into independent sub-instances (the Fig. 1 network has
+      no edge across such a cut, so Lemmas 1–4 apply per component).
+      Components are returned in time order, each an ascending array of
+      indices into the input. *)
+
   val solve :
     ?flow_algorithm:flow_algorithm ->
     ?victim_rule:victim_rule ->
     ?incremental:bool ->
+    ?decompose:bool ->
+    ?parallel:bool ->
     ?on_flow:(Flow.t -> unit) ->
     machines:int ->
     job array ->
@@ -74,6 +83,22 @@ module MakeWith
       and round counts) may differ.  [on_flow] is invoked with the network
       after every round's max-flow answer — a test hook for auditing the
       warm-started flows.
+
+      [decompose] (default [true]) first splits the instance at
+      zero-coverage grid points (see {!components}), solves the
+      independent components on separate workspaces and merges the phase
+      lists back onto the global grid in decreasing-speed order.  The
+      merged run is bit-identical to the undecomposed one — same
+      breakpoints, speeds, members, reservations and allocations — except
+      in the measure-zero case of a bitwise speed tie across components
+      (the merge then coalesces the tied classes, whose mathematically
+      equal merged speed the global solver would have re-derived with a
+      differently-ordered float sum); round/removal counters may differ
+      because the global round loop conjectures blended speeds across
+      components.  [parallel] forces component dispatch over
+      [Ss_parallel.Pool] domains on or off (default: on when there are
+      ≥ 2 components, the instance is non-trivial and no [on_flow] hook is
+      installed); results are deterministic either way.
       @raise Invalid_argument on malformed jobs.
       @raise Stranded_job only on internal failure (valid instances are
       always schedulable). *)
@@ -118,11 +143,15 @@ module MakeWith
 
     val machines : t -> int
 
-    val solve : ?keys:int array -> t -> job array -> run
+    val solve :
+      ?keys:int array -> ?decompose:bool -> ?parallel:bool -> t -> job array -> run
     (** Solve one instance on the session's machines, reusing the
         workspace.  [keys.(i)] is a caller-stable identity for job [i]
         (e.g. the original job id across OA replans), used only for the
-        monotonicity ledger.
+        monotonicity ledger.  [decompose]/[parallel] behave as in the
+        top-level {!solve}; decomposed session solves claim one persistent
+        workspace per component slot, so rewind state is never shared
+        across domains.
         @raise Invalid_argument if [keys] disagrees with [jobs] in length,
         or on malformed jobs. *)
 
@@ -168,15 +197,27 @@ type info = {
   speeds : float array;
 }
 
-val solve : ?incremental:bool -> Ss_model.Job.instance -> Ss_model.Schedule.t * info
+val component_count : Ss_model.Job.instance -> int
+(** Number of independent sub-instances the decomposition layer splits the
+    instance into (1 = nothing to gain from decomposition). *)
+
+val solve :
+  ?incremental:bool ->
+  ?decompose:bool ->
+  ?parallel:bool ->
+  Ss_model.Job.instance ->
+  Ss_model.Schedule.t * info
 (** Full pipeline: run the algorithm and materialize the schedule via the
     Lemma 2 wrap-packing.  The result is feasible and optimal for every
-    convex non-decreasing power function. *)
+    convex non-decreasing power function.  [decompose] (default [true])
+    solves independent components separately — bit-identical results, see
+    {!MakeWith.solve}. *)
 
 val optimal_schedule : Ss_model.Job.instance -> Ss_model.Schedule.t
 val optimal_energy : Ss_model.Power.t -> Ss_model.Job.instance -> float
 
-val run : ?incremental:bool -> Ss_model.Job.instance -> F.run
+val run :
+  ?incremental:bool -> ?decompose:bool -> ?parallel:bool -> Ss_model.Job.instance -> F.run
 (** The raw phase structure (no schedule materialization). *)
 
 val energy_of_run : Ss_model.Power.t -> F.run -> float

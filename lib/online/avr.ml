@@ -80,7 +80,37 @@ let run_on_grid (inst : Job.instance) =
   let schedule = Schedule.make ~machines:inst.machines !segments in
   (schedule, { intervals = Ss_model.Interval.length grid; peeled = !peeled_total })
 
-let run (inst : Job.instance) =
+(* One sorted event sweep over the unit grid: job i enters the active set
+   at its release index and leaves at its deadline index, so building all
+   per-interval active lists costs O((n + g) log n) for g unit intervals,
+   against the O(n g) of re-scanning every job per interval
+   ([Engine.active_jobs]).  The set is materialized ascending — exactly
+   the id order the per-interval rescan produces — so the two paths feed
+   [schedule_interval] identical inputs and yield bitwise-equal
+   schedules. *)
+module Iset = Set.Make (Int)
+
+let sweep_active ~t_start ~t_end (jobs : Job.t array) =
+  let g = t_end - t_start in
+  let enter = Array.make (g + 1) [] in
+  let leave = Array.make (g + 1) [] in
+  Array.iteri
+    (fun i (j : Job.t) ->
+      let a = max 0 (min g (int_of_float j.release - t_start)) in
+      let d = max 0 (min g (int_of_float j.deadline - t_start)) in
+      enter.(a) <- i :: enter.(a);
+      leave.(d) <- i :: leave.(d))
+    jobs;
+  let active = ref Iset.empty in
+  let out = Array.make (max g 0) [] in
+  for t = 0 to g - 1 do
+    List.iter (fun i -> active := Iset.add i !active) enter.(t);
+    List.iter (fun i -> active := Iset.remove i !active) leave.(t);
+    out.(t) <- Iset.elements !active
+  done;
+  out
+
+let run ?(sweep = true) (inst : Job.instance) =
   (match Job.validate inst with
   | [] -> ()
   | _ -> invalid_arg "Avr.run: invalid instance");
@@ -90,11 +120,18 @@ let run (inst : Job.instance) =
   let t_start = int_of_float lo and t_end = int_of_float hi in
   let n = Array.length inst.jobs in
   let density = Array.init n (fun i -> Job.density inst.jobs.(i)) in
+  let actives =
+    if sweep then Some (sweep_active ~t_start ~t_end inst.jobs) else None
+  in
   let segments = ref [] in
   let peeled_total = ref 0 in
   for t = t_start to t_end - 1 do
     let t0 = float_of_int t and t1 = float_of_int (t + 1) in
-    let active = Engine.active_jobs inst ~lo:t0 ~hi:t1 in
+    let active =
+      match actives with
+      | Some a -> a.(t - t_start)
+      | None -> Engine.active_jobs inst ~lo:t0 ~hi:t1
+    in
     (* Lines 3-6 of Fig. 3. *)
     peeled_total :=
       !peeled_total

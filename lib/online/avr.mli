@@ -9,8 +9,12 @@ type info = {
   peeled : int;
 }
 
-val run : Ss_model.Job.instance -> Ss_model.Schedule.t * info
-(** @raise Invalid_argument on invalid instances or non-integral
+val run : ?sweep:bool -> Ss_model.Job.instance -> Ss_model.Schedule.t * info
+(** [sweep] (default [true]) builds the per-interval active sets with one
+    sorted event sweep over the unit grid — O((n+g) log n) instead of the
+    per-interval job rescan's O(n·g); both paths produce bitwise-equal
+    schedules (the sweep materializes the same ascending id lists).
+    @raise Invalid_argument on invalid instances or non-integral
     release/deadline times. *)
 
 val run_on_grid : Ss_model.Job.instance -> Ss_model.Schedule.t * info

@@ -45,7 +45,8 @@ type info = {
 
 let default_tol = 1e-9
 
-let run_detailed ?(tol = default_tol) ?(incremental = true) (inst : Job.instance) =
+let run_detailed ?(tol = default_tol) ?(incremental = true) ?decompose
+    (inst : Job.instance) =
   (match Job.validate inst with
   | [] -> ()
   | _ -> invalid_arg "Oa.run: invalid instance");
@@ -66,10 +67,14 @@ let run_detailed ?(tol = default_tol) ?(incremental = true) (inst : Job.instance
         live
     in
     let ids = Array.map (fun (l : Engine.live) -> l.id) live in
+    (* Replanning sub-instances share a single release time ([now]), so
+       they are always one component; [decompose] is passed through for
+       interface consistency (and future lookahead variants whose
+       sub-instances do decompose). *)
     let run =
       match session with
-      | Some s -> Offline.F.Session.solve ~keys:ids s sub_jobs
-      | None -> Offline.F.solve ~machines:inst.machines sub_jobs
+      | Some s -> Offline.F.Session.solve ~keys:ids ?decompose s sub_jobs
+      | None -> Offline.F.solve ?decompose ~machines:inst.machines sub_jobs
     in
     total_rounds := !total_rounds + run.stats.rounds;
     resumes := !resumes + run.stats.resumes;
@@ -121,16 +126,16 @@ let run_detailed ?(tol = default_tol) ?(incremental = true) (inst : Job.instance
   in
   (schedule, info, List.rev !plans)
 
-let run ?tol ?incremental inst =
-  let schedule, info, _ = run_detailed ?tol ?incremental inst in
+let run ?tol ?incremental ?decompose inst =
+  let schedule, info, _ = run_detailed ?tol ?incremental ?decompose inst in
   (schedule, info)
 
-let schedule ?tol ?incremental inst =
-  let s, _, _ = run_detailed ?tol ?incremental inst in
+let schedule ?tol ?incremental ?decompose inst =
+  let s, _, _ = run_detailed ?tol ?incremental ?decompose inst in
   s
 
-let energy ?tol ?incremental power inst =
-  Schedule.energy power (schedule ?tol ?incremental inst)
+let energy ?tol ?incremental ?decompose power inst =
+  Schedule.energy power (schedule ?tol ?incremental ?decompose inst)
 
 (* Theorem 2 guarantee. *)
 let competitive_bound ~alpha =

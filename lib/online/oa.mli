@@ -32,6 +32,7 @@ type info = {
 val run_detailed :
   ?tol:float ->
   ?incremental:bool ->
+  ?decompose:bool ->
   Ss_model.Job.instance ->
   Ss_model.Schedule.t * info * plan list
 (** Full simulation plus the replanning history (consumed by the
@@ -39,21 +40,30 @@ val run_detailed :
     [true]) replans on a cross-arrival solver session — one persistent
     flow arena and workspace, grouped Lemma 4 removals, slice-only
     materialization; [false] replays the scratch path (a fresh solver per
-    arrival).  Both produce identical schedules and plans. *)
+    arrival).  Both produce identical schedules and plans.  [decompose]
+    is forwarded to the offline solver's decomposition layer; replanning
+    sub-instances share one release time, hence form a single component,
+    so it never changes results here. *)
 
 val run :
   ?tol:float ->
   ?incremental:bool ->
+  ?decompose:bool ->
   Ss_model.Job.instance ->
   Ss_model.Schedule.t * info
 (** @raise Invalid_argument on invalid instances. *)
 
 val schedule :
-  ?tol:float -> ?incremental:bool -> Ss_model.Job.instance -> Ss_model.Schedule.t
+  ?tol:float ->
+  ?incremental:bool ->
+  ?decompose:bool ->
+  Ss_model.Job.instance ->
+  Ss_model.Schedule.t
 
 val energy :
   ?tol:float ->
   ?incremental:bool ->
+  ?decompose:bool ->
   Ss_model.Power.t ->
   Ss_model.Job.instance ->
   float

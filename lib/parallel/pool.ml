@@ -18,6 +18,12 @@ let default_domains () =
 let map ?domains f arr =
   let n = Array.length arr in
   if n = 0 then [||]
+  else if n = 1 || domains = Some 1 then
+    (* Inline fast path: a single work item (or an explicitly sequential
+       call) never touches the domain machinery — no spawn, no atomics,
+       not even the recommended-domain-count query.  [f] runs on the
+       calling domain. *)
+    Array.map f arr
   else begin
     let wanted = match domains with Some d -> d | None -> default_domains () in
     let wanted = max 1 (min wanted n) in

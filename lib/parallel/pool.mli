@@ -6,6 +6,9 @@ val default_domains : unit -> int
 (** [min 8 (recommended - 1)], at least 1. *)
 
 val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Singleton inputs and [~domains:1] run inline on the calling domain —
+    no spawn, no atomics. *)
+
 val mapi : ?domains:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
 val map_list : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
 

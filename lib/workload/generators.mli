@@ -52,5 +52,17 @@ val diurnal :
 (** Sinusoidal day/night arrival intensity with lognormal works — the most
     trace-like family. *)
 
+val clustered :
+  ?integral:bool ->
+  ?densities:float array ->
+  seed:int -> machines:int -> clusters:int -> jobs_per_cluster:int ->
+  cluster_span:float -> gap:float -> max_work:float -> unit ->
+  Ss_model.Job.instance
+(** [clusters] well-separated batches of [jobs_per_cluster] jobs; a
+    spanning anchor job keeps each batch connected, and the dead [gap]
+    (>= 2, so it survives integralization) between batches guarantees the
+    offline instance decomposes into exactly [clusters] independent
+    components.  [densities] are per-batch work multipliers (cycled). *)
+
 val with_load_factor : float -> Ss_model.Job.instance -> Ss_model.Job.instance
 (** Rescale works so that [Job.load_factor] hits the target. *)

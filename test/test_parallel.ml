@@ -97,6 +97,23 @@ let test_default_domains () =
   check_bool "at least one" true (Pool.default_domains () >= 1);
   check_bool "bounded" true (Pool.default_domains () <= 8)
 
+(* Singleton inputs and [~domains:1] must run inline: [f] executes on the
+   calling domain (observed via [Domain.self]), so no spawn cost is paid. *)
+let test_inline_fast_path () =
+  let caller = Domain.self () in
+  let ran_on = Pool.map ~domains:8 (fun _ -> Domain.self ()) [| 0 |] in
+  check_bool "singleton runs on caller" true (ran_on.(0) = caller);
+  let ran_on = Pool.map ~domains:1 (fun _ -> Domain.self ()) (Array.init 32 Fun.id) in
+  check_bool "domains=1 runs on caller" true
+    (Array.for_all (fun d -> d = caller) ran_on);
+  (* Results and exceptions behave exactly like the spawning path. *)
+  Alcotest.(check (array int)) "singleton value" [| 7 |]
+    (Pool.map ~domains:8 (fun x -> x + 6) [| 1 |]);
+  match Pool.map ~domains:1 (fun x -> if x = 3 then raise (Boom x) else x) [| 1; 2; 3 |] with
+  | exception Boom 3 -> ()
+  | exception e -> Alcotest.failf "wrong exception %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "expected Boom 3"
+
 (* Real workload through the pool: the deterministic fan-out used by the
    experiments. *)
 let test_deterministic_scheduling_work () =
@@ -138,6 +155,8 @@ let () =
           Alcotest.test_case "mapi preserves index order under domains" `Quick
             test_mapi_preserves_index_order;
           Alcotest.test_case "default domains" `Quick test_default_domains;
+          Alcotest.test_case "inline fast path (singleton / domains=1)" `Quick
+            test_inline_fast_path;
           Alcotest.test_case "scheduling work" `Quick test_deterministic_scheduling_work;
         ] );
       ("properties", List.map QCheck_alcotest.to_alcotest [ prop_pool_preserves_order ]);

@@ -6,9 +6,9 @@
 
    Benchmarks present in both files are compared by [ns_per_run]; any that
    slowed down by more than FRAC (default 0.25, i.e. 25%) is a regression
-   and makes the exit status 1.  The solver and online sections are
-   diffed informationally (counter drift is interesting but never fatal:
-   timings there are medians-of-3, too noisy to gate on). *)
+   and makes the exit status 1.  The solver, online and decomposition
+   sections are diffed informationally (counter drift is interesting but
+   never fatal: timings there are medians-of-3, too noisy to gate on). *)
 
 module Json = Ss_numeric.Json
 
@@ -97,7 +97,7 @@ let () =
       Printf.printf "no shared benchmarks to compare\n";
       exit 2
     end;
-    (* Informational: solver and online session counters / speedups. *)
+    (* Informational: solver / online / decomposition counters and speedups. *)
     List.iter
       (fun (sec, keys) ->
         let old_s = section old_doc sec ~label:"instance" in
@@ -119,6 +119,7 @@ let () =
       [
         ("solver", [ "rounds"; "resumes"; "speedup" ]);
         ("online", [ "replans"; "rounds"; "resumes"; "carried_jobs"; "speedup" ]);
+        ("decomposition", [ "components"; "seq_speedup"; "speedup" ]);
       ];
     if !regressions > 0 then begin
       Printf.printf "\n%d benchmark(s) regressed by more than %.0f%%\n" !regressions
