@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-json bench-smoke perf-diff tables micro examples clean
+.PHONY: all build test bench bench-json bench-large bench-smoke perf-diff tables micro examples clean
 
 all: build
 
@@ -25,6 +25,11 @@ bench-output:
 # trajectory.
 bench-json:
 	dune exec bench/main.exe -- micro --json BENCH_3.json
+
+# Large-n scaling rows (dense vs interval-tree-compressed round networks
+# on heavy n=500/1000/2000, m=8 instances); regenerates BENCH_4.json.
+bench-large:
+	dune exec bench/main.exe -- large --json BENCH_4.json
 
 # Tiny-quota run of the same pipeline (also wired into `dune runtest`).
 bench-smoke:

@@ -6,6 +6,8 @@
      dune exec bench/main.exe -- <id>     — one experiment (e.g. e3)
      dune exec bench/main.exe -- micro    — micro-benchmarks only
      dune exec bench/main.exe -- smoke    — tiny-quota subset (CI alias)
+     dune exec bench/main.exe -- large    — dense-vs-compressed scaling rows
+                                            (n=500/1000/2000; BENCH_4.json)
      dune exec bench/main.exe -- tables   — tables only
 
    Appending [--json FILE] to the micro/smoke modes additionally writes a
@@ -191,7 +193,43 @@ let decomposition_counters ~smoke =
       (name, components, t_undec, t_seq, t_par))
     specs
 
-let emit_json ~file ~mode rows counters online decomposition =
+(* Dense vs interval-tree-compressed round networks on heavy instances
+   (overlapping windows, so the grid has Theta(n) intervals and the dense
+   Fig. 1 network Theta(n k) edges) — timings, edge counts and the
+   flow-work counters behind the PR 6 perf_opt acceptance criterion. *)
+let compressed_counters specs =
+  List.map
+    (fun (name, seed, machines, jobs, horizon) ->
+      let inst = Ss_workload.Generators.heavy ~seed ~machines ~jobs ~horizon () in
+      let measure compress =
+        let last = ref None in
+        let ms =
+          Ss_experiments.Common.time_median (fun () ->
+              last := Some (Ss_core.Offline.run ~compress inst))
+        in
+        match !last with
+        | Some (r : Ss_core.Offline.F.run) -> (r.stats, ms)
+        | None -> assert false
+      in
+      let dense, t_dense = measure false in
+      let comp, t_comp = measure true in
+      (name, dense, comp, t_dense, t_comp))
+    specs
+
+let compressed_specs ~smoke =
+  if smoke then [ ("heavy/n=120,m=8", 7, 8, 120, 60.) ]
+  else [ ("heavy/n=300,m=8", 7, 8, 300, 150.) ]
+
+(* The large-n scaling rows behind `make bench-large` / BENCH_4.json:
+   horizon = n/2 keeps the grid at Theta(n) intervals as n grows. *)
+let large_specs =
+  [
+    ("heavy/n=500,m=8", 7, 8, 500, 250.);
+    ("heavy/n=1000,m=8", 7, 8, 1000, 500.);
+    ("heavy/n=2000,m=8", 7, 8, 2000, 1000.);
+  ]
+
+let emit_json ~file ~mode rows counters online decomposition compressed =
   let open Ss_numeric.Json in
   let num x = if Float.is_finite x then Num x else Null in
   let benchmarks =
@@ -211,6 +249,9 @@ let emit_json ~file ~mode rows counters online decomposition =
                ("rounds", Num (float_of_int s.rounds));
                ("resumes", Num (float_of_int s.resumes));
                ("removals", Num (float_of_int s.removals));
+               ("edges", Num (float_of_int s.net_edges));
+               ("pushes", Num (float_of_int s.net_pushes));
+               ("bfs_waves", Num (float_of_int s.net_bfs_waves));
                ("scratch_ms", num t_scratch);
                ("incremental_ms", num t_inc);
                ("speedup", num (t_scratch /. Float.max 1e-9 t_inc));
@@ -254,6 +295,29 @@ let emit_json ~file ~mode rows counters online decomposition =
              ])
          decomposition)
   in
+  let compressed_section =
+    Arr
+      (List.map
+         (fun (name, (d : Ss_core.Offline.F.stats), (c : Ss_core.Offline.F.stats),
+               t_dense, t_comp) ->
+           Obj
+             [
+               ("instance", Str name);
+               ("phases", Num (float_of_int d.phases));
+               ("rounds", Num (float_of_int d.rounds));
+               ("dense_edges", Num (float_of_int d.net_edges));
+               ("compressed_edges", Num (float_of_int c.net_edges));
+               ("edge_ratio", num (float_of_int d.net_edges /. Float.max 1. (float_of_int c.net_edges)));
+               ("dense_pushes", Num (float_of_int d.net_pushes));
+               ("compressed_pushes", Num (float_of_int c.net_pushes));
+               ("dense_bfs_waves", Num (float_of_int d.net_bfs_waves));
+               ("compressed_bfs_waves", Num (float_of_int c.net_bfs_waves));
+               ("dense_ms", num t_dense);
+               ("compressed_ms", num t_comp);
+               ("speedup", num (t_dense /. Float.max 1e-9 t_comp));
+             ])
+         compressed)
+  in
   let doc =
     Obj
       [
@@ -263,6 +327,7 @@ let emit_json ~file ~mode rows counters online decomposition =
         ("solver", solver);
         ("online", online_section);
         ("decomposition", decomposition_section);
+        ("compressed", compressed_section);
       ]
   in
   Out_channel.with_open_text file (fun oc ->
@@ -317,9 +382,50 @@ let run_micro ?json_file ?(smoke = false) () =
       ~mode:(if smoke then "smoke" else "micro")
       rows (solver_counters ~smoke) (online_counters ~smoke)
       (decomposition_counters ~smoke)
+      (compressed_counters (compressed_specs ~smoke))
+
+(* `main.exe large [--json BENCH_4.json]`: the end-to-end scaling table for
+   interval-tree compression (dense vs compressed round networks on the
+   n=500/1000/2000 heavy rows).  Each timing also lands in the
+   [benchmarks] section so perf_diff can gate BENCH_4-to-BENCH_4 drift. *)
+let run_large ?json_file () =
+  print_endline "== large-n offline solves: dense vs compressed round networks ==";
+  let counters = compressed_counters large_specs in
+  let printable =
+    List.map
+      (fun (name, (d : Ss_core.Offline.F.stats), (c : Ss_core.Offline.F.stats),
+            t_dense, t_comp) ->
+        [
+          name;
+          string_of_int d.net_edges;
+          string_of_int c.net_edges;
+          Printf.sprintf "%.1f ms" t_dense;
+          Printf.sprintf "%.1f ms" t_comp;
+          Printf.sprintf "%.2fx" (t_dense /. Float.max 1e-9 t_comp);
+        ])
+      counters
+  in
+  Ss_numeric.Table.print
+    (Ss_numeric.Table.make ~title:""
+       ~headers:[ "instance"; "dense edges"; "compressed edges"; "dense"; "compressed"; "speedup" ]
+       printable);
+  print_newline ();
+  match json_file with
+  | None -> ()
+  | Some file ->
+    let rows =
+      List.concat_map
+        (fun (name, _, _, t_dense, t_comp) ->
+          [
+            ("offline-dense/" ^ name, t_dense *. 1e6);
+            ("offline-compressed/" ^ name, t_comp *. 1e6);
+          ])
+        counters
+    in
+    emit_json ~file ~mode:"large" rows [] [] [] counters
 
 let usage () =
-  Printf.printf "usage: main.exe [tables | micro | smoke | <experiment id>] [--json FILE]\n";
+  Printf.printf "usage: main.exe [tables | micro | smoke | large | <experiment id>] [--json FILE]\n";
   Printf.printf "experiment ids: %s\n" (String.concat " " (Ss_experiments.Registry.ids ()))
 
 let () =
@@ -339,6 +445,7 @@ let () =
   | [ "tables" ] -> Ss_experiments.Registry.run_all ()
   | [ "micro" ] -> run_micro ?json_file ()
   | [ "smoke" ] -> run_micro ?json_file ~smoke:true ()
+  | [ "large" ] -> run_large ?json_file ()
   | [ id ] ->
     if not (Ss_experiments.Registry.run_one (String.lowercase_ascii id)) then begin
       Printf.printf "unknown experiment id: %s\n" id;

@@ -39,6 +39,16 @@ module MakeWith
     grouped : int;
         (** failed rounds that removed more than one certified victim at
             once (always 0 outside {!Session} solves) *)
+    net_edges : int;
+        (** peak forward-edge count over all round networks of the solve
+            (max across components when decomposed) — the O(n k) vs
+            O((n + k) log k) size win of [compress], machine-readable *)
+    net_pushes : int;
+        (** total edge-flow updates (augmentations and repair
+            cancellations) across the solve's max-flow work *)
+    net_bfs_waves : int;
+        (** total BFS passes (Dinic level builds / Edmonds–Karp path
+            searches) across the solve's max-flow work *)
   }
 
   type run = {
@@ -64,11 +74,16 @@ module MakeWith
       Components are returned in time order, each an ascending array of
       indices into the input. *)
 
+  val compress_threshold : int
+  (** Dense edge-table size ([n * k]) above which a solve defaults to the
+      compressed round network. *)
+
   val solve :
     ?flow_algorithm:flow_algorithm ->
     ?victim_rule:victim_rule ->
     ?incremental:bool ->
     ?decompose:bool ->
+    ?compress:bool ->
     ?parallel:bool ->
     ?on_flow:(Flow.t -> unit) ->
     machines:int ->
@@ -99,6 +114,20 @@ module MakeWith
       [Ss_parallel.Pool] domains on or off (default: on when there are
       ≥ 2 components, the instance is non-trivial and no [on_flow] hook is
       installed); results are deterministic either way.
+
+      [compress] (default: on iff [n * k >= compress_threshold], decided
+      per component) swaps each round's network for an interval-tree
+      compressed one with O((n + k) log k) edges instead of O(n k), and
+      answers the accept test and Lemma 4 victim certificates from an
+      exact oracle — an earliest-deadline sweep finished by blocking
+      flows on the implicit dense residual — that computes a maximum
+      flow of the dense network without building it.  Phase partitions,
+      speeds, reservations, busy times and energies are bit-identical to
+      the dense path; round counts may differ because victim order may,
+      and the [t_kj] split among a phase's equal-speed members may
+      differ (the oracle's and Dinic's flows are different maximum flows
+      of the same accepting network — every member's total is its demand
+      either way).  See DESIGN.md, "Interval-tree network compression".
       @raise Invalid_argument on malformed jobs.
       @raise Stranded_job only on internal failure (valid instances are
       always schedulable). *)
@@ -144,12 +173,18 @@ module MakeWith
     val machines : t -> int
 
     val solve :
-      ?keys:int array -> ?decompose:bool -> ?parallel:bool -> t -> job array -> run
+      ?keys:int array ->
+      ?decompose:bool ->
+      ?compress:bool ->
+      ?parallel:bool ->
+      t ->
+      job array ->
+      run
     (** Solve one instance on the session's machines, reusing the
         workspace.  [keys.(i)] is a caller-stable identity for job [i]
         (e.g. the original job id across OA replans), used only for the
-        monotonicity ledger.  [decompose]/[parallel] behave as in the
-        top-level {!solve}; decomposed session solves claim one persistent
+        monotonicity ledger.  [decompose]/[compress]/[parallel] behave as
+        in the top-level {!solve}; decomposed session solves claim one persistent
         workspace per component slot, so rewind state is never shared
         across domains.
         @raise Invalid_argument if [keys] disagrees with [jobs] in length,
@@ -204,6 +239,7 @@ val component_count : Ss_model.Job.instance -> int
 val solve :
   ?incremental:bool ->
   ?decompose:bool ->
+  ?compress:bool ->
   ?parallel:bool ->
   Ss_model.Job.instance ->
   Ss_model.Schedule.t * info
@@ -217,7 +253,12 @@ val optimal_schedule : Ss_model.Job.instance -> Ss_model.Schedule.t
 val optimal_energy : Ss_model.Power.t -> Ss_model.Job.instance -> float
 
 val run :
-  ?incremental:bool -> ?decompose:bool -> ?parallel:bool -> Ss_model.Job.instance -> F.run
+  ?incremental:bool ->
+  ?decompose:bool ->
+  ?compress:bool ->
+  ?parallel:bool ->
+  Ss_model.Job.instance ->
+  F.run
 (** The raw phase structure (no schedule materialization). *)
 
 val energy_of_run : Ss_model.Power.t -> F.run -> float
@@ -234,5 +275,6 @@ val slice_of_run :
     the hot path of online replanning, where each plan is only followed
     until the next arrival. *)
 
-val solve_exact : ?incremental:bool -> Ss_model.Job.instance -> Exact.run
+val solve_exact :
+  ?incremental:bool -> ?compress:bool -> Ss_model.Job.instance -> Exact.run
 (** Exact-rational replay of the entire algorithm (floats embed exactly). *)

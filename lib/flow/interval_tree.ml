@@ -1,0 +1,85 @@
+(* Static segment tree over the offline solver's interval grid.
+
+   The Fig. 1 network gives every candidate job one edge per grid interval
+   in its window — O(n k) edges.  Because every job window is a contiguous
+   interval range [first, last], it can instead be routed through the
+   canonical cover of a segment tree over the k leaves: O(log k) edges per
+   job, with internal tree nodes fanning flow down to the leaf -> sink
+   edges that carry the real m_j |I_j| capacities.
+
+   This module is the pure combinatorial structure (spans, children,
+   canonical covers); the capacity placement and the soundness argument
+   for using the compressed network inside the round loop live in
+   lib/core/offline.ml (see DESIGN.md, "Interval-tree network
+   compression").
+
+   Layout: an exact (non-padded) tree on k leaves has 2k - 1 nodes.  Ids
+   are assigned in preorder — root 0, every left subtree before its right
+   sibling — so iterating nodes in id order, or emitting a cover, is
+   deterministic and left-to-right.  The structure depends only on k and
+   is reused across phases and solves; only edge capacities change. *)
+
+type t = {
+  k : int;                  (* number of leaves (grid intervals) *)
+  nodes : int;              (* 2k - 1 *)
+  lo : int array;           (* node span [lo, hi), per node id *)
+  hi : int array;
+  left : int array;         (* child ids; -1 on leaves *)
+  right : int array;
+  leaf : int array;         (* leaf.(j) = node id of leaf interval j *)
+}
+
+let create ~k =
+  if k <= 0 then invalid_arg "Interval_tree.create: k <= 0";
+  let nodes = (2 * k) - 1 in
+  let lo = Array.make nodes 0
+  and hi = Array.make nodes 0
+  and left = Array.make nodes (-1)
+  and right = Array.make nodes (-1)
+  and leaf = Array.make k (-1) in
+  let next = ref 0 in
+  let rec build l h =
+    let id = !next in
+    incr next;
+    lo.(id) <- l;
+    hi.(id) <- h;
+    if h - l = 1 then leaf.(l) <- id
+    else begin
+      let mid = (l + h) / 2 in
+      left.(id) <- build l mid;
+      right.(id) <- build mid h
+    end;
+    id
+  in
+  ignore (build 0 k);
+  { k; nodes; lo; hi; left; right; leaf }
+
+let leaves t = t.k
+let node_count t = t.nodes
+let span t v = (t.lo.(v), t.hi.(v))
+let is_leaf t v = t.left.(v) < 0
+let left t v = t.left.(v)
+let right t v = t.right.(v)
+let leaf t j = t.leaf.(j)
+
+(* Canonical cover of [lo, hi): the unique minimal set of node spans
+   partitioning the range, visited left to right.  At most two nodes per
+   tree level, so O(log k) calls. *)
+let cover t ~lo:ql ~hi:qh f =
+  if ql < 0 || qh > t.k || ql >= qh then invalid_arg "Interval_tree.cover: bad range";
+  let rec go v =
+    let l = t.lo.(v) and h = t.hi.(v) in
+    if ql <= l && h <= qh then f v
+    else begin
+      (* Not fully covered and the query meets [l, h), so v is internal. *)
+      let mid = (l + h) / 2 in
+      if ql < mid then go t.left.(v);
+      if qh > mid then go t.right.(v)
+    end
+  in
+  go 0
+
+let cover_count t ~lo ~hi =
+  let c = ref 0 in
+  cover t ~lo ~hi (fun _ -> incr c);
+  !c

@@ -1,0 +1,40 @@
+(** Static segment tree over the offline solver's interval grid.
+
+    Pure combinatorial structure behind the compressed Fig. 1 network: a
+    job window [first, last] (a contiguous leaf range) is routed through
+    its canonical cover — O(log k) tree nodes — instead of one edge per
+    leaf.  Capacity placement and the round-loop soundness argument live
+    in [lib/core/offline.ml].
+
+    Node ids are preorder (root 0, left subtree before right), so id-order
+    iteration and {!cover} emission are deterministic and left-to-right.
+    The structure depends only on [k] and is reusable across solves. *)
+
+type t
+
+val create : k:int -> t
+(** Exact (non-padded) tree on [k] leaves, [2k - 1] nodes.
+    @raise Invalid_argument if [k <= 0]. *)
+
+val leaves : t -> int
+val node_count : t -> int
+
+val span : t -> int -> int * int
+(** Leaf range [\[lo, hi)] covered by a node. *)
+
+val is_leaf : t -> int -> bool
+
+val left : t -> int -> int
+(** Child ids; [-1] on leaves. *)
+
+val right : t -> int -> int
+
+val leaf : t -> int -> int
+(** [leaf t j] is the node id of leaf interval [j]. *)
+
+val cover : t -> lo:int -> hi:int -> (int -> unit) -> unit
+(** Canonical cover of [\[lo, hi)]: the minimal node set partitioning the
+    range, visited left to right (at most two nodes per level).
+    @raise Invalid_argument on an empty or out-of-range query. *)
+
+val cover_count : t -> lo:int -> hi:int -> int

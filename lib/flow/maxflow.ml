@@ -37,6 +37,10 @@ type 'a graph = {
   mutable level : int array;
   mutable iter_ : int array;
   mutable queue : int array;
+  (* Work counters, accumulated across runs on this arena and cleared only
+     by [reset_counters] — so a round loop can report per-solve totals. *)
+  mutable pushes : int;     (* flow updates: augmentations + cancellations *)
+  mutable bfs_waves : int;  (* level-graph / augmenting-path BFS passes *)
 }
 
 module Make (F : Ss_numeric.Field.S) = struct
@@ -54,6 +58,8 @@ module Make (F : Ss_numeric.Field.S) = struct
       level = [||];
       iter_ = [||];
       queue = [||];
+      pushes = 0;
+      bfs_waves = 0;
     }
 
   let grow_vertices g n =
@@ -153,8 +159,17 @@ module Make (F : Ss_numeric.Field.S) = struct
   let positive x = F.sign x > 0
 
   let push g e x =
+    g.pushes <- g.pushes + 1;
     g.flow.(e) <- F.add g.flow.(e) x;
     g.flow.(e lxor 1) <- F.sub g.flow.(e lxor 1) x
+
+  type counters = { pushes : int; bfs_waves : int }
+
+  let counters (g : t) = { pushes = g.pushes; bfs_waves = g.bfs_waves }
+
+  let reset_counters (g : t) =
+    g.pushes <- 0;
+    g.bfs_waves <- 0
 
   let reset_flows g =
     for e = 0 to g.m - 1 do
@@ -272,6 +287,7 @@ module Make (F : Ss_numeric.Field.S) = struct
     fit_scratch g;
     let level = g.level and iter = g.iter_ and queue = g.queue in
     let bfs () =
+      g.bfs_waves <- g.bfs_waves + 1;
       Array.fill level 0 g.n (-1);
       level.(source) <- 0;
       queue.(0) <- source;
@@ -345,6 +361,7 @@ module Make (F : Ss_numeric.Field.S) = struct
     let pred = Array.make g.n (-1) in
     let queue = Array.make g.n 0 in
     let find_path () =
+      g.bfs_waves <- g.bfs_waves + 1;
       Array.fill pred 0 g.n (-1);
       pred.(source) <- max_int;
       queue.(0) <- source;
@@ -674,6 +691,7 @@ module Float = struct
     let level = g.level and iter = g.iter_ and queue = g.queue in
     let cap = g.cap and flow = g.flow and dst = g.dst in
     let bfs () =
+      g.bfs_waves <- g.bfs_waves + 1;
       Array.fill level 0 g.n (-1);
       level.(source) <- 0;
       queue.(0) <- source;
@@ -707,6 +725,7 @@ module Float = struct
           if level.(v) = level.(u) + 1 && positive_f r then begin
             let pushed = dfs v (Float.min limit r) in
             if positive_f pushed then begin
+              g.pushes <- g.pushes + 1;
               flow.(e) <- flow.(e) +. pushed;
               flow.(e lxor 1) <- flow.(e lxor 1) -. pushed;
               result := pushed;

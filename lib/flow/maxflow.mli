@@ -98,6 +98,20 @@ module Make (F : Ss_numeric.Field.S) : sig
   val audit : t -> source:int -> sink:int -> violation list
   (** Empty list iff the installed flow is feasible. *)
 
+  type counters = { pushes : int; bfs_waves : int }
+  (** Work counters accumulated across every run on this arena: [pushes]
+      counts individual edge-flow updates (augmentations and repair
+      cancellations alike), [bfs_waves] counts BFS passes (Dinic
+      level-graph builds / Edmonds–Karp path searches).  Together with
+      {!num_edges} they make graph-size wins machine-readable in the
+      bench harness. *)
+
+  val counters : t -> counters
+
+  val reset_counters : t -> unit
+  (** Zero the counters (not done by {!clear}, so a round loop that
+      rebuilds per phase still reports per-solve totals). *)
+
   val num_vertices : t -> int
   val num_edges : t -> int
 

@@ -46,7 +46,7 @@ type info = {
 let default_tol = 1e-9
 
 let run_detailed ?(tol = default_tol) ?(incremental = true) ?decompose
-    (inst : Job.instance) =
+    ?compress (inst : Job.instance) =
   (match Job.validate inst with
   | [] -> ()
   | _ -> invalid_arg "Oa.run: invalid instance");
@@ -73,8 +73,8 @@ let run_detailed ?(tol = default_tol) ?(incremental = true) ?decompose
        sub-instances do decompose). *)
     let run =
       match session with
-      | Some s -> Offline.F.Session.solve ~keys:ids ?decompose s sub_jobs
-      | None -> Offline.F.solve ?decompose ~machines:inst.machines sub_jobs
+      | Some s -> Offline.F.Session.solve ~keys:ids ?decompose ?compress s sub_jobs
+      | None -> Offline.F.solve ?decompose ?compress ~machines:inst.machines sub_jobs
     in
     total_rounds := !total_rounds + run.stats.rounds;
     resumes := !resumes + run.stats.resumes;
@@ -126,16 +126,16 @@ let run_detailed ?(tol = default_tol) ?(incremental = true) ?decompose
   in
   (schedule, info, List.rev !plans)
 
-let run ?tol ?incremental ?decompose inst =
-  let schedule, info, _ = run_detailed ?tol ?incremental ?decompose inst in
+let run ?tol ?incremental ?decompose ?compress inst =
+  let schedule, info, _ = run_detailed ?tol ?incremental ?decompose ?compress inst in
   (schedule, info)
 
-let schedule ?tol ?incremental ?decompose inst =
-  let s, _, _ = run_detailed ?tol ?incremental ?decompose inst in
+let schedule ?tol ?incremental ?decompose ?compress inst =
+  let s, _, _ = run_detailed ?tol ?incremental ?decompose ?compress inst in
   s
 
-let energy ?tol ?incremental ?decompose power inst =
-  Schedule.energy power (schedule ?tol ?incremental ?decompose inst)
+let energy ?tol ?incremental ?decompose ?compress power inst =
+  Schedule.energy power (schedule ?tol ?incremental ?decompose ?compress inst)
 
 (* Theorem 2 guarantee. *)
 let competitive_bound ~alpha =

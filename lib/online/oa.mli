@@ -33,6 +33,7 @@ val run_detailed :
   ?tol:float ->
   ?incremental:bool ->
   ?decompose:bool ->
+  ?compress:bool ->
   Ss_model.Job.instance ->
   Ss_model.Schedule.t * info * plan list
 (** Full simulation plus the replanning history (consumed by the
@@ -43,12 +44,15 @@ val run_detailed :
     arrival).  Both produce identical schedules and plans.  [decompose]
     is forwarded to the offline solver's decomposition layer; replanning
     sub-instances share one release time, hence form a single component,
-    so it never changes results here. *)
+    so it never changes results here.  [compress] is forwarded to the
+    solver's interval-tree network compression (default: size-triggered
+    per replan); plans and schedules are identical either way. *)
 
 val run :
   ?tol:float ->
   ?incremental:bool ->
   ?decompose:bool ->
+  ?compress:bool ->
   Ss_model.Job.instance ->
   Ss_model.Schedule.t * info
 (** @raise Invalid_argument on invalid instances. *)
@@ -57,6 +61,7 @@ val schedule :
   ?tol:float ->
   ?incremental:bool ->
   ?decompose:bool ->
+  ?compress:bool ->
   Ss_model.Job.instance ->
   Ss_model.Schedule.t
 
@@ -64,6 +69,7 @@ val energy :
   ?tol:float ->
   ?incremental:bool ->
   ?decompose:bool ->
+  ?compress:bool ->
   Ss_model.Power.t ->
   Ss_model.Job.instance ->
   float

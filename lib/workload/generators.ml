@@ -81,6 +81,24 @@ let heavy_tailed ?(integral = true) ~seed ~machines ~jobs:n ~horizon ~shape () =
   in
   finalize ~machines ~integral (List.init n mk)
 
+(* Large-n stress regime for the compressed flow networks: every window
+   covers at least a third of the horizon, so windows overlap heavily, no
+   zero-coverage cut exists (nothing for the decomposition layer to
+   split), and the dense Fig. 1 network carries Theta(n k) edges — the
+   worst case interval-tree compression is built for.  Works are Pareto
+   so a few dominant jobs keep the phase structure non-trivial. *)
+let heavy ?(integral = true) ?(shape = 1.8) ~seed ~machines:m ~jobs:n ~horizon () =
+  if n <= 0 || horizon < 6. then invalid_arg "Generators.heavy: bad parameters";
+  let rng = Rng.create ~seed in
+  let mk _ =
+    let release = Rng.uniform rng ~lo:0. ~hi:(horizon /. 2.) in
+    let span = Rng.uniform rng ~lo:(horizon /. 3.) ~hi:(horizon -. release) in
+    let deadline = Float.min horizon (release +. Float.max 1. span) in
+    let work = Rng.pareto rng ~xm:1. ~shape in
+    Job.make ~release ~deadline ~work
+  in
+  finalize ~machines:m ~integral (List.init n mk)
+
 (* The adversarial family behind the AVR lower bound (Bansal, Bunde, Chan,
    Pruhs): nested windows sharing one deadline with geometric spans and
    equal densities, so the accumulated density ramps up toward the common

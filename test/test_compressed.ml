@@ -1,0 +1,398 @@
+(* Interval-tree network compression (lib/flow/interval_tree.ml + the
+   [compress] path of lib/core/offline.ml).
+
+   (a) Structure: canonical covers partition their query range, are
+       emitted left-to-right, and have O(log k) size.
+   (b) Flow substrate: on randomly generated round networks the
+       compressed value is a relaxation of the dense value (V_dense <=
+       V_compressed), and the three max-flow backends agree on the
+       compressed graphs.
+   (c) Solver: runs with [compress:true] are bit-identical — members,
+       speeds, procs, alloc, energy — to the dense path, across
+       generators, seeds, machine counts, sessions, decomposed solves,
+       OA(m) replanning and the exact rational field.
+   (d) Counters: compressed round networks are measurably smaller, with
+       edge counts within the O((n + k) log k) bound. *)
+
+module Offline = Ss_core.Offline
+module Job = Ss_model.Job
+module Power = Ss_model.Power
+module Rational = Ss_numeric.Rational
+module MF = Ss_flow.Maxflow.Float
+module IT = Ss_flow.Interval_tree
+module Rng = Ss_workload.Rng
+module G = Ss_workload.Generators
+
+let close ?(tol = 1e-9) msg expected actual =
+  let t = tol *. (1. +. Float.abs expected) in
+  if Float.abs (expected -. actual) > t then
+    Alcotest.failf "%s: expected %.15g, got %.15g" msg expected actual
+
+let float_jobs (inst : Job.instance) =
+  Array.map
+    (fun (j : Job.t) -> { Offline.F.release = j.release; deadline = j.deadline; work = j.work })
+    inst.jobs
+
+let exact_jobs (inst : Job.instance) =
+  Array.map
+    (fun (j : Job.t) ->
+      {
+        Offline.Exact.release = Rational.of_float j.release;
+        deadline = Rational.of_float j.deadline;
+        work = Rational.of_float j.work;
+      })
+    inst.jobs
+
+(* --- (a) canonical-cover structure ----------------------------------- *)
+
+let test_cover_properties () =
+  for k = 1 to 33 do
+    let t = IT.create ~k in
+    Alcotest.(check int) "node count" ((2 * k) - 1) (IT.node_count t);
+    let log2_ceil =
+      let rec go acc p = if p >= k then acc else go (acc + 1) (2 * p) in
+      go 0 1
+    in
+    for lo = 0 to k - 1 do
+      for hi = lo + 1 to k do
+        let spans = ref [] in
+        IT.cover t ~lo ~hi (fun v -> spans := IT.span t v :: !spans);
+        let spans = List.rev !spans in
+        (* Left-to-right partition of [lo, hi): consecutive spans abut. *)
+        let pos = ref lo in
+        List.iter
+          (fun (a, b) ->
+            Alcotest.(check int) "cover spans abut" !pos a;
+            Alcotest.(check bool) "span non-empty" true (b > a);
+            pos := b)
+          spans;
+        Alcotest.(check int) "cover ends at hi" hi !pos;
+        let count = IT.cover_count t ~lo ~hi in
+        Alcotest.(check int) "cover_count matches" (List.length spans) count;
+        Alcotest.(check bool)
+          (Printf.sprintf "cover size O(log k): k=%d [%d,%d) -> %d" k lo hi count)
+          true
+          (count <= max 1 (2 * log2_ceil))
+      done
+    done
+  done
+
+(* --- (b) compressed network is a relaxation; backends agree ----------- *)
+
+(* Build the dense and compressed round networks for one synthetic
+   reservation state, mirroring the capacity placement of the solver. *)
+let build_pair ~n ~k ~machines ~first ~last ~demand ~widths ~procs =
+  let tree = IT.create ~k in
+  let nodes = IT.node_count tree in
+  let wsum = Array.make nodes 0. in
+  for v = nodes - 1 downto 0 do
+    if IT.is_leaf tree v then wsum.(v) <- widths.(fst (IT.span tree v))
+    else wsum.(v) <- wsum.(IT.left tree v) +. wsum.(IT.right tree v)
+  done;
+  let dense = MF.create ~n:(2 + n + k) in
+  for i = 0 to n - 1 do
+    ignore (MF.add_edge dense ~src:0 ~dst:(2 + i) ~cap:demand.(i))
+  done;
+  for i = 0 to n - 1 do
+    for j = first.(i) to last.(i) do
+      if procs.(j) > 0 then
+        ignore (MF.add_edge dense ~src:(2 + i) ~dst:(2 + n + j) ~cap:widths.(j))
+    done
+  done;
+  for j = 0 to k - 1 do
+    if procs.(j) > 0 then
+      ignore
+        (MF.add_edge dense ~src:(2 + n + j) ~dst:1
+           ~cap:(float_of_int procs.(j) *. widths.(j)))
+  done;
+  let comp = MF.create ~n:(2 + n + nodes) in
+  let base = 2 + n in
+  for i = 0 to n - 1 do
+    ignore (MF.add_edge comp ~src:0 ~dst:(2 + i) ~cap:demand.(i))
+  done;
+  for i = 0 to n - 1 do
+    IT.cover tree ~lo:first.(i) ~hi:(last.(i) + 1) (fun v ->
+        ignore (MF.add_edge comp ~src:(2 + i) ~dst:(base + v) ~cap:wsum.(v)))
+  done;
+  let mf = float_of_int machines in
+  for v = 0 to nodes - 1 do
+    if not (IT.is_leaf tree v) then begin
+      let l = IT.left tree v and r = IT.right tree v in
+      ignore (MF.add_edge comp ~src:(base + v) ~dst:(base + l) ~cap:(mf *. wsum.(l)));
+      ignore (MF.add_edge comp ~src:(base + v) ~dst:(base + r) ~cap:(mf *. wsum.(r)))
+    end
+  done;
+  for j = 0 to k - 1 do
+    ignore
+      (MF.add_edge comp ~src:(base + IT.leaf tree j) ~dst:1
+         ~cap:(float_of_int procs.(j) *. widths.(j)))
+  done;
+  (dense, comp)
+
+let test_flow_relaxation_and_backends () =
+  let rng = Rng.create ~seed:7 in
+  for case = 1 to 150 do
+    let k = 1 + Rng.int rng ~bound:12 in
+    let n = 1 + Rng.int rng ~bound:14 in
+    let machines = 1 + Rng.int rng ~bound:4 in
+    let widths = Array.init k (fun _ -> Rng.uniform rng ~lo:0.25 ~hi:3.) in
+    let first = Array.make n 0 and last = Array.make n 0 in
+    for i = 0 to n - 1 do
+      let a = Rng.int rng ~bound:k in
+      let b = Rng.int rng ~bound:k in
+      first.(i) <- min a b;
+      last.(i) <- max a b
+    done;
+    let demand = Array.init n (fun _ -> Rng.uniform rng ~lo:0.1 ~hi:6.) in
+    let procs = Array.init k (fun _ -> Rng.int rng ~bound:(machines + 1)) in
+    let dense, comp =
+      build_pair ~n ~k ~machines ~first ~last ~demand ~widths ~procs
+    in
+    let vd = MF.dinic dense ~source:0 ~sink:1 in
+    let vc = MF.dinic comp ~source:0 ~sink:1 in
+    let tag = Printf.sprintf "case %d (n=%d k=%d m=%d)" case n k machines in
+    if vd > vc +. 1e-9 *. (1. +. vd) then
+      Alcotest.failf "%s: dense value %.15g exceeds compressed %.15g" tag vd vc;
+    (* Independent backends agree on the compressed graph. *)
+    let _, comp_ek = build_pair ~n ~k ~machines ~first ~last ~demand ~widths ~procs in
+    let _, comp_pr = build_pair ~n ~k ~machines ~first ~last ~demand ~widths ~procs in
+    close (tag ^ ": dinic vs edmonds_karp") vc (MF.edmonds_karp comp_ek ~source:0 ~sink:1);
+    close (tag ^ ": dinic vs push_relabel") vc (MF.push_relabel comp_pr ~source:0 ~sink:1);
+    match MF.audit comp ~source:0 ~sink:1 with
+    | [] -> ()
+    | vs -> Alcotest.failf "%s: %d flow violations on compressed graph" tag (List.length vs)
+  done
+
+(* --- (c) solver agreement -------------------------------------------- *)
+
+(* Phase-for-phase agreement of two float runs.  The partition itself —
+   members, speeds, procs — must match bitwise; energies (functions of
+   speed, procs and breakpoints only) must match bitwise too.  The t_kj
+   allocations are NOT compared entry-wise: the compressed path extracts
+   them from the sweep oracle's maximum flow while the dense path uses
+   Dinic's, and a phase's maximum flow is not unique in how it splits
+   time among equal-speed members.  What is well-defined — each member's
+   total allocated time (its demand w_k / s_i) and feasibility of every
+   entry — is checked instead. *)
+let check_float_agree ?jobs name (dense : Offline.F.run) (comp : Offline.F.run) =
+  Alcotest.(check int)
+    (name ^ ": phase count")
+    (List.length dense.schedule_phases)
+    (List.length comp.schedule_phases);
+  List.iteri
+    (fun idx ((a : Offline.F.phase), (b : Offline.F.phase)) ->
+      let tag = Printf.sprintf "%s: phase %d" name idx in
+      Alcotest.(check (list int)) (tag ^ " members") a.members b.members;
+      close (tag ^ " speed") ~tol:0. a.speed b.speed;
+      Alcotest.(check (array int)) (tag ^ " procs") a.procs b.procs;
+      let job_totals (p : Offline.F.phase) =
+        let h = Hashtbl.create 16 in
+        List.iter
+          (fun (i, j, t) ->
+            let w = comp.breakpoints.(j + 1) -. comp.breakpoints.(j) in
+            if t < -.1e-9 || t > w +. 1e-9 then
+              Alcotest.failf "%s: alloc (%d, %d, %g) outside [0, %g]" tag i j t w;
+            Hashtbl.replace h i (t +. (try Hashtbl.find h i with Not_found -> 0.)))
+          p.alloc;
+        h
+      in
+      let ta = job_totals a and tb = job_totals b in
+      List.iter
+        (fun i ->
+          let get h = try Hashtbl.find h i with Not_found -> 0. in
+          close (Printf.sprintf "%s job %d total time" tag i) (get ta) (get tb))
+        a.members)
+    (List.combine dense.schedule_phases comp.schedule_phases);
+  let energy r = Offline.energy_of_run (Power.alpha 3.) r in
+  close (name ^ ": energy") ~tol:0. (energy dense) (energy comp);
+  (* The compressed run's allocation materializes into a schedule that
+     passes the (tolerance-aware on floats) feasibility audit. *)
+  match jobs with
+  | None -> ()
+  | Some (machines, js) ->
+    (match
+       Offline.F.check_segments ~machines js (Offline.F.schedule_segments comp)
+     with
+    | [] -> ()
+    | vs -> Alcotest.failf "%s: %d segment violations" name (List.length vs))
+
+let instance_mix seed machines =
+  [
+    ( Printf.sprintf "uniform s=%d m=%d" seed machines,
+      G.uniform ~seed ~machines ~jobs:14 ~horizon:20. ~max_work:4. () );
+    ( Printf.sprintf "poisson s=%d m=%d" seed machines,
+      G.poisson ~seed:(seed + 500) ~machines ~jobs:12 ~rate:1.2 ~mean_work:2.5
+        ~slack:2.2 () );
+    ( Printf.sprintf "heavy s=%d m=%d" seed machines,
+      G.heavy ~seed:(seed + 900) ~machines ~jobs:16 ~horizon:14. () );
+  ]
+
+let test_solver_matrix () =
+  List.iter
+    (fun machines ->
+      List.iter
+        (fun seed ->
+          List.iter
+            (fun (name, inst) ->
+              let jobs = float_jobs inst in
+              let dense = Offline.F.solve ~compress:false ~machines:inst.machines jobs in
+              let comp = Offline.F.solve ~compress:true ~machines:inst.machines jobs in
+              check_float_agree ~jobs:(inst.machines, jobs) name dense comp;
+              (* The scratch strategy through the compressed substrate too. *)
+              let comp_scr =
+                Offline.F.solve ~compress:true ~incremental:false
+                  ~machines:inst.machines jobs
+              in
+              check_float_agree (name ^ " scratch") dense comp_scr)
+            (instance_mix seed machines))
+        [ 11; 12; 13 ])
+    [ 1; 2; 4; 8 ]
+
+let test_clustered_split () =
+  List.iter
+    (fun seed ->
+      let inst =
+        G.clustered ~seed ~machines:4 ~clusters:4 ~jobs_per_cluster:10
+          ~cluster_span:12. ~gap:3. ~max_work:4. ()
+      in
+      let jobs = float_jobs inst in
+      let dense = Offline.F.solve ~compress:false ~machines:4 jobs in
+      List.iter
+        (fun decompose ->
+          let comp = Offline.F.solve ~compress:true ~decompose ~machines:4 jobs in
+          check_float_agree
+            (Printf.sprintf "clustered s=%d decompose=%b" seed decompose)
+            dense comp)
+        [ true; false ])
+    [ 61; 62 ]
+
+let test_session_agrees () =
+  let machines = 4 in
+  let session = Offline.F.Session.create ~machines in
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun (name, inst) ->
+          let jobs = float_jobs inst in
+          let dense = Offline.F.solve ~compress:false ~machines jobs in
+          let via_session = Offline.F.Session.solve ~compress:true session jobs in
+          check_float_agree (name ^ " session") dense via_session)
+        (instance_mix seed machines))
+    [ 71; 72; 73 ]
+
+let test_oa_agrees () =
+  let p3 = Power.alpha 3. in
+  List.iter
+    (fun seed ->
+      let inst =
+        G.poisson ~seed ~machines:2 ~jobs:14 ~rate:1.1 ~mean_work:2. ~slack:2.4 ()
+      in
+      let s_dense, i_dense = Ss_online.Oa.run ~compress:false inst in
+      let s_comp, i_comp = Ss_online.Oa.run ~compress:true inst in
+      Alcotest.(check int) "OA replans" i_dense.replans i_comp.replans;
+      (* Schedule energy sums over materialized segments, whose packing
+         depends on the (non-unique) t_kj split — approximately equal,
+         not bitwise. *)
+      close "OA energy"
+        (Ss_model.Schedule.energy p3 s_dense)
+        (Ss_model.Schedule.energy p3 s_comp))
+    [ 81; 82 ]
+
+let test_exact_agrees () =
+  List.iter
+    (fun (machines, seed) ->
+      let inst = G.uniform ~seed ~machines ~jobs:8 ~horizon:12. ~max_work:4. () in
+      let jobs = exact_jobs inst in
+      let dense = Offline.Exact.solve ~compress:false ~machines jobs in
+      let comp = Offline.Exact.solve ~compress:true ~machines jobs in
+      Alcotest.(check int) "exact: phase count"
+        (List.length dense.schedule_phases)
+        (List.length comp.schedule_phases);
+      List.iter2
+        (fun (a : Offline.Exact.phase) (b : Offline.Exact.phase) ->
+          Alcotest.(check (list int)) "exact: members" a.members b.members;
+          Alcotest.(check bool) "exact: speed (exact equality)" true
+            (Rational.Field.equal a.speed b.speed);
+          Alcotest.(check (array int)) "exact: procs" a.procs b.procs;
+          (* Exact-rational per-member totals: both allocations are maximum
+             flows of the same network, so each member's total time is
+             exactly its demand — compare totals, not the non-unique
+             split. *)
+          let totals (p : Offline.Exact.phase) =
+            let h = Hashtbl.create 16 in
+            List.iter
+              (fun (i, _, t) ->
+                let prev =
+                  try Hashtbl.find h i with Not_found -> Rational.Field.zero
+                in
+                Hashtbl.replace h i (Rational.Field.add prev t))
+              p.alloc;
+            h
+          in
+          let ta = totals a and tb = totals b in
+          List.iter
+            (fun i ->
+              let get h =
+                try Hashtbl.find h i with Not_found -> Rational.Field.zero
+              in
+              Alcotest.(check bool)
+                (Printf.sprintf "exact: job %d total (exact equality)" i)
+                true
+                (Rational.Field.equal (get ta) (get tb)))
+            a.members)
+        dense.schedule_phases comp.schedule_phases)
+    [ (1, 31); (2, 32); (4, 34) ]
+
+(* --- (d) size counters ------------------------------------------------ *)
+
+let test_counters () =
+  let inst = G.heavy ~seed:91 ~machines:8 ~jobs:150 ~horizon:60. () in
+  let jobs = float_jobs inst in
+  let n = Array.length jobs in
+  let dense = Offline.F.solve ~compress:false ~decompose:false ~machines:8 jobs in
+  let comp = Offline.F.solve ~compress:true ~decompose:false ~machines:8 jobs in
+  check_float_agree "counter instance" dense comp;
+  let k =
+    let bp = Array.length dense.breakpoints in
+    bp - 1
+  in
+  Alcotest.(check bool) "work was counted" true
+    (dense.stats.net_pushes > 0 && dense.stats.net_bfs_waves > 0
+    && comp.stats.net_pushes > 0
+    && comp.stats.net_bfs_waves > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "compressed rounds are smaller (%d < %d)"
+       comp.stats.net_edges dense.stats.net_edges)
+    true
+    (comp.stats.net_edges < dense.stats.net_edges);
+  (* O((n + k) log k): every job contributes <= 2 ceil(log2 k) cover
+     edges, plus n source, 2(k-1) down and k leaf edges. *)
+  let log2_ceil =
+    let rec go acc p = if p >= k then acc else go (acc + 1) (2 * p) in
+    go 0 1
+  in
+  let bound = n + (2 * n * log2_ceil) + (3 * k) in
+  Alcotest.(check bool)
+    (Printf.sprintf "edge bound: %d <= %d (n=%d k=%d)" comp.stats.net_edges bound n k)
+    true
+    (comp.stats.net_edges <= bound)
+
+let () =
+  Alcotest.run "compressed"
+    [
+      ("interval tree", [ Alcotest.test_case "canonical covers" `Quick test_cover_properties ]);
+      ( "flow substrate",
+        [
+          Alcotest.test_case "relaxation + backend agreement" `Quick
+            test_flow_relaxation_and_backends;
+        ] );
+      ( "solver agreement",
+        [
+          Alcotest.test_case "generator x seed x machines matrix" `Quick test_solver_matrix;
+          Alcotest.test_case "clustered + solve_split" `Quick test_clustered_split;
+          Alcotest.test_case "session solves" `Quick test_session_agrees;
+          Alcotest.test_case "OA(m) replanning" `Quick test_oa_agrees;
+          Alcotest.test_case "exact-rational replay" `Slow test_exact_agrees;
+        ] );
+      ("counters", [ Alcotest.test_case "network size" `Quick test_counters ]);
+    ]

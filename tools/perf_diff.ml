@@ -6,9 +6,11 @@
 
    Benchmarks present in both files are compared by [ns_per_run]; any that
    slowed down by more than FRAC (default 0.25, i.e. 25%) is a regression
-   and makes the exit status 1.  The solver, online and decomposition
-   sections are diffed informationally (counter drift is interesting but
-   never fatal: timings there are medians-of-3, too noisy to gate on). *)
+   and makes the exit status 1; benchmarks present in only one file are
+   printed as warnings and never fail the diff.  The solver, online,
+   decomposition and compressed sections are diffed informationally
+   (counter drift is interesting but never fatal: timings there are
+   medians-of-3, too noisy to gate on). *)
 
 module Json = Ss_numeric.Json
 
@@ -75,6 +77,20 @@ let () =
     Printf.printf "perf diff: %s -> %s (threshold %.0f%%)\n\n" old_file new_file
       (100. *. !threshold);
     Printf.printf "%-42s %12s %12s %9s\n" "benchmark" "old" "new" "change";
+    (* Benchmarks present in only one file — a renamed row or a different
+       mode (micro vs large) — are a warning, never a regression: a
+       one-sided key carries no before/after pair to gate on. *)
+    let warnings = ref [] in
+    List.iter
+      (fun (name, _) ->
+        if not (List.mem_assoc name new_b) then
+          warnings := Printf.sprintf "'%s' only in %s" name old_file :: !warnings)
+      old_b;
+    List.iter
+      (fun (name, _) ->
+        if not (List.mem_assoc name old_b) then
+          warnings := Printf.sprintf "'%s' only in %s" name new_file :: !warnings)
+      new_b;
     List.iter
       (fun (name, old_row) ->
         match List.assoc_opt name new_b with
@@ -93,6 +109,7 @@ let () =
             Printf.printf "%-42s %10.0fns %10.0fns %+8.1f%%%s\n" name o n (pct ratio) flag
           | _ -> ()))
       old_b;
+    List.iter (fun w -> Printf.printf "WARNING: %s\n" w) (List.rev !warnings);
     if !compared = 0 then begin
       Printf.printf "no shared benchmarks to compare\n";
       exit 2
@@ -117,9 +134,10 @@ let () =
               print_newline ())
           old_s)
       [
-        ("solver", [ "rounds"; "resumes"; "speedup" ]);
+        ("solver", [ "rounds"; "resumes"; "edges"; "pushes"; "speedup" ]);
         ("online", [ "replans"; "rounds"; "resumes"; "carried_jobs"; "speedup" ]);
         ("decomposition", [ "components"; "seq_speedup"; "speedup" ]);
+        ("compressed", [ "rounds"; "dense_edges"; "compressed_edges"; "edge_ratio"; "speedup" ]);
       ];
     if !regressions > 0 then begin
       Printf.printf "\n%d benchmark(s) regressed by more than %.0f%%\n" !regressions
