@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-json bench-large bench-smoke perf-diff tables micro examples clean
+.PHONY: all build test bench bench-json bench-large bench-online-large bench-smoke perf-diff tables micro examples clean
 
 all: build
 
@@ -30,6 +30,12 @@ bench-json:
 # on heavy n=500/1000/2000, m=8 instances); regenerates BENCH_4.json.
 bench-large:
 	dune exec bench/main.exe -- large --json BENCH_4.json
+
+# Large-trace online simulation (streaming calendar/arena event loop vs
+# the legacy per-interval rescan on stream workloads at n=1e4/1e5/1e6);
+# regenerates BENCH_5.json.
+bench-online-large:
+	dune exec bench/main.exe -- online-large --json BENCH_5.json
 
 # Tiny-quota run of the same pipeline (also wired into `dune runtest`).
 bench-smoke:

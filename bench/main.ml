@@ -8,6 +8,10 @@
      dune exec bench/main.exe -- smoke    — tiny-quota subset (CI alias)
      dune exec bench/main.exe -- large    — dense-vs-compressed scaling rows
                                             (n=500/1000/2000; BENCH_4.json)
+     dune exec bench/main.exe -- online-large
+                                          — streaming vs legacy online
+                                            simulation on stream workloads
+                                            (n=1e4/1e5/1e6; BENCH_5.json)
      dune exec bench/main.exe -- tables   — tables only
 
    Appending [--json FILE] to the micro/smoke modes additionally writes a
@@ -193,6 +197,55 @@ let decomposition_counters ~smoke =
       (name, components, t_undec, t_seq, t_par))
     specs
 
+(* Streaming calendar/active-set/arena event loop against the legacy
+   per-interval rescan, on the stream workload (Poisson arrivals, bounded
+   laxity — the regime where the active set stays small while n grows).
+   Reports wall time, the per-event counters (calendar events consumed,
+   active-set operations, segments emitted) and the arena high-water
+   mark — the numbers behind the PR 7 perf_opt acceptance criterion.
+   [time_legacy = false] skips the legacy run where its O(n·horizon)
+   rescan would dominate the whole bench (the n=1e6 row). *)
+let online_engine_counters specs =
+  List.map
+    (fun (name, seed, machines, jobs, rate, mean_work, max_laxity, time_legacy) ->
+      let inst =
+        Ss_workload.Generators.stream ~seed ~machines ~jobs ~rate ~mean_work ~max_laxity ()
+      in
+      let stats = Ss_online.Engine.counters () in
+      ignore (Ss_online.Avr.run ~streaming:true ~stats inst);
+      let repeats = if jobs >= 100_000 then 1 else 3 in
+      let t_streaming =
+        Ss_experiments.Common.time_median ~repeats (fun () ->
+            ignore (Ss_online.Avr.run ~streaming:true inst))
+      in
+      let t_legacy =
+        if time_legacy then
+          Some
+            (Ss_experiments.Common.time_median ~repeats:1 (fun () ->
+                 ignore (Ss_online.Avr.run ~streaming:false inst)))
+        else None
+      in
+      (name, jobs, stats, t_streaming, t_legacy))
+    specs
+
+let online_engine_specs ~smoke =
+  if smoke then [ ("stream/n=500,m=4", 31, 4, 500, 4., 2., 6., true) ]
+  else
+    [
+      ("stream/n=2000,m=4", 31, 4, 2000, 4., 2., 6., true);
+      ("stream/n=5000,m=8", 37, 8, 5000, 8., 2., 6., true);
+    ]
+
+(* The scaling rows behind `make bench-online-large` / BENCH_5.json.  The
+   legacy rescan is Theta(n * horizon); at n=1e6 that is ~1e11 job checks,
+   so the last row times the streaming path only. *)
+let online_large_specs =
+  [
+    ("stream/n=1e4,m=8", 41, 8, 10_000, 4., 2., 6., true);
+    ("stream/n=1e5,m=8", 41, 8, 100_000, 4., 2., 6., true);
+    ("stream/n=1e6,m=8", 41, 8, 1_000_000, 4., 2., 6., false);
+  ]
+
 (* Dense vs interval-tree-compressed round networks on heavy instances
    (overlapping windows, so the grid has Theta(n) intervals and the dense
    Fig. 1 network Theta(n k) edges) — timings, edge counts and the
@@ -229,7 +282,7 @@ let large_specs =
     ("heavy/n=2000,m=8", 7, 8, 2000, 1000.);
   ]
 
-let emit_json ~file ~mode rows counters online decomposition compressed =
+let emit_json ~file ~mode rows counters online decomposition compressed online_engine =
   let open Ss_numeric.Json in
   let num x = if Float.is_finite x then Num x else Null in
   let benchmarks =
@@ -318,6 +371,29 @@ let emit_json ~file ~mode rows counters online decomposition compressed =
              ])
          compressed)
   in
+  let online_engine_section =
+    Arr
+      (List.map
+         (fun (name, jobs, (c : Ss_online.Engine.counters), t_streaming, t_legacy) ->
+           Obj
+             [
+               ("instance", Str name);
+               ("jobs", Num (float_of_int jobs));
+               ("events", Num (float_of_int c.events));
+               ("set_ops", Num (float_of_int c.set_ops));
+               ("segments", Num (float_of_int c.emitted));
+               ("arena_high_water", Num (float_of_int c.arena_high_water));
+               ( "events_per_sec",
+                 num (float_of_int c.events /. Float.max 1e-9 (t_streaming /. 1e3)) );
+               ("streaming_ms", num t_streaming);
+               ("legacy_ms", match t_legacy with Some t -> num t | None -> Null);
+               ( "speedup",
+                 match t_legacy with
+                 | Some t -> num (t /. Float.max 1e-9 t_streaming)
+                 | None -> Null );
+             ])
+         online_engine)
+  in
   let doc =
     Obj
       [
@@ -328,6 +404,7 @@ let emit_json ~file ~mode rows counters online decomposition compressed =
         ("online", online_section);
         ("decomposition", decomposition_section);
         ("compressed", compressed_section);
+        ("online_engine", online_engine_section);
       ]
   in
   Out_channel.with_open_text file (fun oc ->
@@ -383,6 +460,7 @@ let run_micro ?json_file ?(smoke = false) () =
       rows (solver_counters ~smoke) (online_counters ~smoke)
       (decomposition_counters ~smoke)
       (compressed_counters (compressed_specs ~smoke))
+      (online_engine_counters (online_engine_specs ~smoke))
 
 (* `main.exe large [--json BENCH_4.json]`: the end-to-end scaling table for
    interval-tree compression (dense vs compressed round networks on the
@@ -422,10 +500,62 @@ let run_large ?json_file () =
           ])
         counters
     in
-    emit_json ~file ~mode:"large" rows [] [] [] counters
+    emit_json ~file ~mode:"large" rows [] [] [] counters []
+
+(* `main.exe online-large [--json BENCH_5.json]`: the end-to-end scaling
+   table for the streaming event loop (calendar + incremental active set +
+   arena) against the legacy per-interval rescan, on stream workloads at
+   n = 1e4/1e5/1e6.  Streaming timings land in [benchmarks] so perf_diff
+   can gate BENCH_5-to-BENCH_5 drift; the n=1e6 legacy run is skipped
+   (its Theta(n * horizon) rescan would run for hours). *)
+let run_online_large ?json_file () =
+  print_endline "== large-n online simulation: streaming event loop vs legacy rescan ==";
+  let counters = online_engine_counters online_large_specs in
+  let printable =
+    List.map
+      (fun (name, _, (c : Ss_online.Engine.counters), t_streaming, t_legacy) ->
+        let events_per_sec = float_of_int c.events /. Float.max 1e-9 (t_streaming /. 1e3) in
+        [
+          name;
+          string_of_int c.events;
+          string_of_int c.set_ops;
+          string_of_int c.emitted;
+          Printf.sprintf "%.2g" events_per_sec;
+          Printf.sprintf "%.1f ms" t_streaming;
+          (match t_legacy with Some t -> Printf.sprintf "%.1f ms" t | None -> "n/a");
+          (match t_legacy with
+          | Some t -> Printf.sprintf "%.1fx" (t /. Float.max 1e-9 t_streaming)
+          | None -> "n/a");
+        ])
+      counters
+  in
+  Ss_numeric.Table.print
+    (Ss_numeric.Table.make ~title:""
+       ~headers:
+         [
+           "instance"; "events"; "set ops"; "segments"; "events/s"; "streaming"; "legacy";
+           "speedup";
+         ]
+       printable);
+  print_newline ();
+  match json_file with
+  | None -> ()
+  | Some file ->
+    let rows =
+      List.concat_map
+        (fun (name, _, _, t_streaming, t_legacy) ->
+          ("online-streaming/" ^ name, t_streaming *. 1e6)
+          ::
+          (match t_legacy with
+          | Some t -> [ ("online-legacy/" ^ name, t *. 1e6) ]
+          | None -> []))
+        counters
+    in
+    emit_json ~file ~mode:"online-large" rows [] [] [] [] counters
 
 let usage () =
-  Printf.printf "usage: main.exe [tables | micro | smoke | large | <experiment id>] [--json FILE]\n";
+  Printf.printf
+    "usage: main.exe [tables | micro | smoke | large | online-large | <experiment id>] [--json FILE]\n";
   Printf.printf "experiment ids: %s\n" (String.concat " " (Ss_experiments.Registry.ids ()))
 
 let () =
@@ -446,6 +576,7 @@ let () =
   | [ "micro" ] -> run_micro ?json_file ()
   | [ "smoke" ] -> run_micro ?json_file ~smoke:true ()
   | [ "large" ] -> run_large ?json_file ()
+  | [ "online-large" ] -> run_online_large ?json_file ()
   | [ id ] ->
     if not (Ss_experiments.Registry.run_one (String.lowercase_ascii id)) then begin
       Printf.printf "unknown experiment id: %s\n" id;

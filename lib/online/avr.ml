@@ -21,23 +21,31 @@ type info = {
 (* The core step shared by the unit-interval algorithm (the paper's
    Fig. 3) and the grid generalization: schedule density * |interval| work
    for each active job inside [t0, t1), peeling over-dense jobs onto
-   dedicated processors.  Appends segments; returns peel count. *)
-let schedule_interval ~machines ~density ~segments ~t0 ~t1 active =
+   dedicated processors.  Emits segments through [emit]; returns the peel
+   count. *)
+let schedule_interval ~machines ~density ~emit ~t0 ~t1 active =
+  (* Same compensated adds in the same list order as
+     [Kahan.sum_list (List.map ...)], minus the intermediate list — this
+     runs once per unit interval on the simulators' hot path. *)
+  let density_sum ids =
+    let acc = Ss_numeric.Kahan.create () in
+    List.iter (fun i -> Ss_numeric.Kahan.add acc density.(i)) ids;
+    Ss_numeric.Kahan.total acc
+  in
   let rest = ref active in
   let free = ref machines in
   let proc = ref 0 in
   let peeled = ref 0 in
   let continue_peeling = ref true in
   while !continue_peeling && !rest <> [] do
-    let delta' = Ss_numeric.Kahan.sum_list (List.map (fun i -> density.(i)) !rest) in
+    let delta' = density_sum !rest in
     let imax =
       List.fold_left (fun acc i -> if density.(i) > density.(acc) then i else acc)
         (List.hd !rest) !rest
     in
     if density.(imax) > delta' /. float_of_int !free then begin
       assert (!free > 1);
-      segments :=
-        { Schedule.job = imax; proc = !proc; t0; t1; speed = density.(imax) } :: !segments;
+      emit { Schedule.job = imax; proc = !proc; t0; t1; speed = density.(imax) };
       rest := List.filter (fun i -> i <> imax) !rest;
       decr free;
       incr proc;
@@ -46,13 +54,13 @@ let schedule_interval ~machines ~density ~segments ~t0 ~t1 active =
     else continue_peeling := false
   done;
   if !rest <> [] then begin
-    let delta' = Ss_numeric.Kahan.sum_list (List.map (fun i -> density.(i)) !rest) in
+    let delta' = density_sum !rest in
     let speed = delta' /. float_of_int !free in
     (* Each job runs density/speed fraction of the interval. *)
     let entries = List.map (fun i -> (i, (t1 -. t0) *. density.(i) /. speed)) !rest in
     let segs, used = Schedule.wrap_pack ~t0 ~t1 ~proc_offset:!proc ~speed entries in
     if used > !free then failwith "Avr: packing exceeded free processors";
-    segments := List.rev_append segs !segments
+    List.iter emit segs
   end;
   !peeled
 
@@ -69,48 +77,89 @@ let run_on_grid (inst : Job.instance) =
   let n = Array.length inst.jobs in
   let density = Array.init n (fun i -> Job.density inst.jobs.(i)) in
   let segments = ref [] in
+  let emit s = segments := s :: !segments in
   let peeled_total = ref 0 in
   for jv = 0 to Ss_model.Interval.length grid - 1 do
     let t0 = Ss_model.Interval.start grid jv and t1 = Ss_model.Interval.stop grid jv in
     let active = Ss_model.Interval.active grid jv in
     peeled_total :=
       !peeled_total
-      + schedule_interval ~machines:inst.machines ~density ~segments ~t0 ~t1 active
+      + schedule_interval ~machines:inst.machines ~density ~emit ~t0 ~t1 active
   done;
   let schedule = Schedule.make ~machines:inst.machines !segments in
   (schedule, { intervals = Ss_model.Interval.length grid; peeled = !peeled_total })
 
-(* One sorted event sweep over the unit grid: job i enters the active set
-   at its release index and leaves at its deadline index, so building all
-   per-interval active lists costs O((n + g) log n) for g unit intervals,
-   against the O(n g) of re-scanning every job per interval
-   ([Engine.active_jobs]).  The set is materialized ascending — exactly
-   the id order the per-interval rescan produces — so the two paths feed
+(* The streaming sweep over the unit grid: one pass over the shared event
+   calendar keeps the active set incrementally (enter at the release
+   event, leave at the deadline event), so building all per-interval
+   active lists costs O((n + g) log n) for g unit intervals, against the
+   O(n g) of re-scanning every job per interval ([Engine.active_jobs], the
+   legacy oracle behind [streaming:false]).  Idle stretches — no active
+   job until the next calendar event — are skipped in O(1) instead of
+   walked unit by unit.  The set is materialized ascending — exactly the
+   id order the per-interval rescan produces — so the two paths feed
    [schedule_interval] identical inputs and yield bitwise-equal
    schedules. *)
-module Iset = Set.Make (Int)
-
-let sweep_active ~t_start ~t_end (jobs : Job.t array) =
-  let g = t_end - t_start in
-  let enter = Array.make (g + 1) [] in
-  let leave = Array.make (g + 1) [] in
-  Array.iteri
-    (fun i (j : Job.t) ->
-      let a = max 0 (min g (int_of_float j.release - t_start)) in
-      let d = max 0 (min g (int_of_float j.deadline - t_start)) in
-      enter.(a) <- i :: enter.(a);
-      leave.(d) <- i :: leave.(d))
-    jobs;
-  let active = ref Iset.empty in
-  let out = Array.make (max g 0) [] in
-  for t = 0 to g - 1 do
-    List.iter (fun i -> active := Iset.add i !active) enter.(t);
-    List.iter (fun i -> active := Iset.remove i !active) leave.(t);
-    out.(t) <- Iset.elements !active
+let run_streaming ?stats ~t_start ~t_end ~density (inst : Job.instance) =
+  let cal = Engine.Calendar.make inst in
+  let num_events = Engine.Calendar.num_events cal in
+  let active = Engine.Active.create () in
+  let arena = Engine.Arena.create () in
+  let emit s = Engine.Arena.emit arena s in
+  let peeled_total = ref 0 in
+  let intervals_scheduled = ref 0 in
+  let ev = ref 0 in
+  let t = ref t_start in
+  while !t < t_end do
+    let ft = float_of_int !t in
+    while !ev < num_events && Engine.Calendar.time cal !ev <= ft do
+      List.iter (Engine.Active.add active) (Engine.Calendar.arrivals_at cal !ev);
+      List.iter (Engine.Active.remove active) (Engine.Calendar.expiries_at cal !ev);
+      incr ev
+    done;
+    if Engine.Active.is_empty active then
+      (* Idle: fast-forward to the next event (or the horizon end). *)
+      t :=
+        if !ev < num_events then
+          max (!t + 1) (int_of_float (Engine.Calendar.time cal !ev))
+        else t_end
+    else begin
+      (* Lines 3-6 of Fig. 3. *)
+      peeled_total :=
+        !peeled_total
+        + schedule_interval ~machines:inst.machines ~density ~emit ~t0:ft
+            ~t1:(float_of_int (!t + 1))
+            (Engine.Active.elements active);
+      incr intervals_scheduled;
+      incr t
+    end
   done;
-  out
+  Engine.record stats (fun c ->
+      c.events <- c.events + !intervals_scheduled;
+      c.set_ops <- c.set_ops + Engine.Active.ops active);
+  Engine.record_arena stats arena;
+  (Schedule.make ~machines:inst.machines (Engine.Arena.to_list_rev arena), !peeled_total)
 
-let run ?(sweep = true) (inst : Job.instance) =
+let run_legacy ?stats ~t_start ~t_end ~density (inst : Job.instance) =
+  let segments = ref [] in
+  let emitted = ref 0 in
+  let emit s =
+    incr emitted;
+    segments := s :: !segments
+  in
+  let peeled_total = ref 0 in
+  for t = t_start to t_end - 1 do
+    let t0 = float_of_int t and t1 = float_of_int (t + 1) in
+    let active = Engine.active_jobs inst ~lo:t0 ~hi:t1 in
+    peeled_total :=
+      !peeled_total + schedule_interval ~machines:inst.machines ~density ~emit ~t0 ~t1 active
+  done;
+  Engine.record stats (fun c ->
+      c.events <- c.events + (t_end - t_start);
+      c.emitted <- c.emitted + !emitted);
+  (Schedule.make ~machines:inst.machines !segments, !peeled_total)
+
+let run ?(streaming = true) ?stats (inst : Job.instance) =
   (match Job.validate inst with
   | [] -> ()
   | _ -> invalid_arg "Avr.run: invalid instance");
@@ -120,25 +169,11 @@ let run ?(sweep = true) (inst : Job.instance) =
   let t_start = int_of_float lo and t_end = int_of_float hi in
   let n = Array.length inst.jobs in
   let density = Array.init n (fun i -> Job.density inst.jobs.(i)) in
-  let actives =
-    if sweep then Some (sweep_active ~t_start ~t_end inst.jobs) else None
+  let schedule, peeled =
+    if streaming then run_streaming ?stats ~t_start ~t_end ~density inst
+    else run_legacy ?stats ~t_start ~t_end ~density inst
   in
-  let segments = ref [] in
-  let peeled_total = ref 0 in
-  for t = t_start to t_end - 1 do
-    let t0 = float_of_int t and t1 = float_of_int (t + 1) in
-    let active =
-      match actives with
-      | Some a -> a.(t - t_start)
-      | None -> Engine.active_jobs inst ~lo:t0 ~hi:t1
-    in
-    (* Lines 3-6 of Fig. 3. *)
-    peeled_total :=
-      !peeled_total
-      + schedule_interval ~machines:inst.machines ~density ~segments ~t0 ~t1 active
-  done;
-  let schedule = Schedule.make ~machines:inst.machines !segments in
-  (schedule, { intervals = t_end - t_start; peeled = !peeled_total })
+  (schedule, { intervals = t_end - t_start; peeled })
 
 let schedule inst = fst (run inst)
 

@@ -9,11 +9,18 @@ type info = {
   peeled : int;
 }
 
-val run : ?sweep:bool -> Ss_model.Job.instance -> Ss_model.Schedule.t * info
-(** [sweep] (default [true]) builds the per-interval active sets with one
-    sorted event sweep over the unit grid — O((n+g) log n) instead of the
+val run :
+  ?streaming:bool ->
+  ?stats:Engine.counters ->
+  Ss_model.Job.instance ->
+  Ss_model.Schedule.t * info
+(** [streaming] (default [true]) runs on the shared event calendar and
+    incremental active set ({!Engine.Calendar} / {!Engine.Active}),
+    emitting segments into an arena — O((n + g) log n + output) for g unit
+    intervals, with idle stretches skipped in O(1) — instead of the legacy
     per-interval job rescan's O(n·g); both paths produce bitwise-equal
     schedules (the sweep materializes the same ascending id lists).
+    [stats] accumulates {!Engine.counters} in place.
     @raise Invalid_argument on invalid instances or non-integral
     release/deadline times. *)
 

@@ -22,8 +22,16 @@ type outcome = {
 }
 
 (* [slices]: ascending time points cutting the horizon; [speed_at t] is
-   held constant on each [a, b) slice, sampled at [a]. *)
-let run ~slices ~speed_at (inst : Job.instance) =
+   held constant on each [a, b) slice, sampled at [a].
+
+   The executor is already incremental — a release-sorted feed and a
+   deadline-ordered heap give O(log n) per job transition — so
+   [streaming] (default on) only switches segment accumulation to the
+   shared arena ([Engine.Arena], amortized O(1) emission, high-water
+   tracking) and wires the [stats] counters; the legacy list-prepend path
+   stays as the agreement oracle.  Both paths hand [Schedule.make] the
+   same list, hence bit-identical schedules. *)
+let run ?(streaming = true) ?stats ~slices ~speed_at (inst : Job.instance) =
   (match Job.validate inst with
   | [] -> ()
   | _ -> invalid_arg "Edf.run: invalid instance");
@@ -31,7 +39,15 @@ let run ~slices ~speed_at (inst : Job.instance) =
   let n = Array.length inst.jobs in
   let remaining = Array.map (fun (j : Job.t) -> j.work) inst.jobs in
   let unfinished = ref [] in
+  let arena = if streaming then Some (Engine.Arena.create ()) else None in
   let segments = ref [] in
+  let emit s =
+    match arena with
+    | Some a -> Engine.Arena.emit a s
+    | None -> segments := s :: !segments
+  in
+  let heap_ops = ref 0 in
+  let slice_count = ref 0 in
   (* Jobs sorted by release; fed into the live heap as time passes. *)
   let by_release =
     List.init n Fun.id
@@ -46,6 +62,7 @@ let run ~slices ~speed_at (inst : Job.instance) =
     let rec go () =
       match !by_release with
       | i :: rest when inst.jobs.(i).release <= t ->
+        incr heap_ops;
         Ss_numeric.Heap.push live i;
         by_release := rest;
         go ()
@@ -58,6 +75,7 @@ let run ~slices ~speed_at (inst : Job.instance) =
     let rec go () =
       match Ss_numeric.Heap.peek live with
       | Some i when inst.jobs.(i).deadline <= t ->
+        incr heap_ops;
         ignore (Ss_numeric.Heap.pop live);
         if remaining.(i) > 1e-9 then unfinished := (i, remaining.(i)) :: !unfinished;
         go ()
@@ -67,6 +85,7 @@ let run ~slices ~speed_at (inst : Job.instance) =
   in
   let rec slice = function
     | a :: (b :: _ as rest) ->
+      incr slice_count;
       admit_until a;
       expire_until a;
       let speed = speed_at a in
@@ -78,16 +97,20 @@ let run ~slices ~speed_at (inst : Job.instance) =
           match Ss_numeric.Heap.peek live with
           | None -> continue := false
           | Some i ->
-            if remaining.(i) <= 1e-12 then ignore (Ss_numeric.Heap.pop live)
+            if remaining.(i) <= 1e-12 then begin
+              incr heap_ops;
+              ignore (Ss_numeric.Heap.pop live)
+            end
             else begin
               let need = remaining.(i) /. speed in
               let dt = Float.min need (b -. !cursor) in
-              segments :=
-                { Schedule.job = i; proc = 0; t0 = !cursor; t1 = !cursor +. dt; speed }
-                :: !segments;
+              emit { Schedule.job = i; proc = 0; t0 = !cursor; t1 = !cursor +. dt; speed };
               remaining.(i) <- remaining.(i) -. (dt *. speed);
               cursor := !cursor +. dt;
-              if remaining.(i) <= 1e-12 then ignore (Ss_numeric.Heap.pop live)
+              if remaining.(i) <= 1e-12 then begin
+                incr heap_ops;
+                ignore (Ss_numeric.Heap.pop live)
+              end
             end
         done
       end;
@@ -101,9 +124,23 @@ let run ~slices ~speed_at (inst : Job.instance) =
   (* Jobs never expired (heap leftovers past the final slice). *)
   Ss_numeric.Heap.iter_unordered live (fun i ->
       if remaining.(i) > 1e-9 then unfinished := (i, remaining.(i)) :: !unfinished);
+  let all_segments =
+    match arena with Some a -> Engine.Arena.to_list_rev a | None -> !segments
+  in
+  Engine.record stats (fun c ->
+      c.events <- c.events + !slice_count;
+      c.set_ops <- c.set_ops + !heap_ops;
+      c.emitted <-
+        (c.emitted
+        + match arena with Some a -> Engine.Arena.length a | None -> List.length !segments));
+  (match arena with
+  | Some a ->
+    Engine.record stats (fun c ->
+        c.arena_high_water <- max c.arena_high_water (Engine.Arena.high_water a))
+  | None -> ());
   {
     schedule =
       Schedule.make ~machines:1
-        (List.filter (fun (s : Schedule.segment) -> s.t1 > s.t0) !segments);
+        (List.filter (fun (s : Schedule.segment) -> s.t1 > s.t0) all_segments);
     unfinished = List.rev !unfinished;
   }

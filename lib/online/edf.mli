@@ -13,8 +13,14 @@ type outcome = {
 }
 
 val run :
+  ?streaming:bool ->
+  ?stats:Engine.counters ->
   slices:float list ->
   speed_at:(float -> float) ->
   Ss_model.Job.instance ->
   outcome
-(** @raise Invalid_argument on invalid instances or [machines <> 1]. *)
+(** [streaming] (default [true]) emits segments into the shared
+    {!Engine.Arena} (amortized O(1), high-water tracked in [stats]);
+    [false] replays the legacy list accumulation.  Schedules are
+    bit-identical either way.
+    @raise Invalid_argument on invalid instances or [machines <> 1]. *)

@@ -59,6 +59,21 @@ let solve ?(max_jobs = 16) power (inst : Job.instance) =
   let machine_members = Array.make m [] in
   let machine_cost = Array.make m 0. in
   let nodes = ref 0 in
+  (* Subset energies recur across branches (the same member list is
+     rebuilt whenever only the other machines' assignments differ), so
+     memoize the single-machine YDS solves on the member list.  Keys are
+     canonical — members are always extended head-first along the fixed
+     [order] — so a hit returns the identical float and the search
+     explores exactly the same tree. *)
+  let energy_cache : (int list, float) Hashtbl.t = Hashtbl.create 256 in
+  let cached_energy members =
+    match Hashtbl.find_opt energy_cache members with
+    | Some e -> e
+    | None ->
+      let e = machine_energy power inst members in
+      Hashtbl.add energy_cache members e;
+      e
+  in
   let rec branch pos used assigned_cost =
     incr nodes;
     if assigned_cost +. suffix.(pos) >= !best_energy then ()
@@ -74,7 +89,7 @@ let solve ?(max_jobs = 16) power (inst : Job.instance) =
         let saved_members = machine_members.(machine) in
         let saved_cost = machine_cost.(machine) in
         let members = job :: saved_members in
-        let cost = machine_energy power inst members in
+        let cost = cached_energy members in
         machine_members.(machine) <- members;
         machine_cost.(machine) <- cost;
         current.(job) <- machine;

@@ -68,13 +68,16 @@ let assign strategy (inst : Job.instance) =
 
 let schedule_of_assignment (inst : Job.instance) assignment =
   let n = Array.length inst.jobs in
+  (* One pass buckets jobs by processor (descending ids prepend, so each
+     bucket is ascending — the order the per-processor rescan produced),
+     O(n + m) instead of O(n·m). *)
+  let buckets = Array.make inst.machines [] in
+  for i = n - 1 downto 0 do
+    buckets.(assignment.(i)) <- i :: buckets.(assignment.(i))
+  done;
   let segments = ref [] in
   for proc = 0 to inst.machines - 1 do
-    let ids = ref [] in
-    for i = n - 1 downto 0 do
-      if assignment.(i) = proc then ids := i :: !ids
-    done;
-    match !ids with
+    match buckets.(proc) with
     | [] -> ()
     | ids ->
       let sub = Job.instance ~machines:1 (List.map (fun i -> inst.jobs.(i)) ids) in

@@ -45,8 +45,8 @@ type info = {
 
 let default_tol = 1e-9
 
-let run_detailed ?(tol = default_tol) ?(incremental = true) ?decompose
-    ?compress (inst : Job.instance) =
+let run_detailed ?(tol = default_tol) ?(incremental = true) ?streaming ?stats
+    ?decompose ?compress (inst : Job.instance) =
   (match Job.validate inst with
   | [] -> ()
   | _ -> invalid_arg "Oa.run: invalid instance");
@@ -99,7 +99,7 @@ let run_detailed ?(tol = default_tol) ?(incremental = true) ?decompose
     in
     List.map (fun (s : Schedule.segment) -> { s with job = ids.(s.job) }) slice
   in
-  let schedule = Engine.replan_fold ~tol ~plan:planner inst in
+  let schedule = Engine.replan_fold ?streaming ?stats ~tol ~plan:planner inst in
   let info =
     match session with
     | Some s ->
@@ -126,16 +126,18 @@ let run_detailed ?(tol = default_tol) ?(incremental = true) ?decompose
   in
   (schedule, info, List.rev !plans)
 
-let run ?tol ?incremental ?decompose ?compress inst =
-  let schedule, info, _ = run_detailed ?tol ?incremental ?decompose ?compress inst in
+let run ?tol ?incremental ?streaming ?stats ?decompose ?compress inst =
+  let schedule, info, _ =
+    run_detailed ?tol ?incremental ?streaming ?stats ?decompose ?compress inst
+  in
   (schedule, info)
 
-let schedule ?tol ?incremental ?decompose ?compress inst =
-  let s, _, _ = run_detailed ?tol ?incremental ?decompose ?compress inst in
+let schedule ?tol ?incremental ?streaming ?decompose ?compress inst =
+  let s, _, _ = run_detailed ?tol ?incremental ?streaming ?decompose ?compress inst in
   s
 
-let energy ?tol ?incremental ?decompose ?compress power inst =
-  Schedule.energy power (schedule ?tol ?incremental ?decompose ?compress inst)
+let energy ?tol ?incremental ?streaming ?decompose ?compress power inst =
+  Schedule.energy power (schedule ?tol ?incremental ?streaming ?decompose ?compress inst)
 
 (* Theorem 2 guarantee. *)
 let competitive_bound ~alpha =

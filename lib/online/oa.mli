@@ -32,6 +32,8 @@ type info = {
 val run_detailed :
   ?tol:float ->
   ?incremental:bool ->
+  ?streaming:bool ->
+  ?stats:Engine.counters ->
   ?decompose:bool ->
   ?compress:bool ->
   Ss_model.Job.instance ->
@@ -41,16 +43,24 @@ val run_detailed :
     [true]) replans on a cross-arrival solver session — one persistent
     flow arena and workspace, grouped Lemma 4 removals, slice-only
     materialization; [false] replays the scratch path (a fresh solver per
-    arrival).  Both produce identical schedules and plans.  [decompose]
-    is forwarded to the offline solver's decomposition layer; replanning
-    sub-instances share one release time, hence form a single component,
-    so it never changes results here.  [compress] is forwarded to the
-    solver's interval-tree network compression (default: size-triggered
-    per replan); plans and schedules are identical either way. *)
+    arrival).  Both produce identical schedules and plans.  [streaming]
+    (default [true]) drives the simulation on the streaming engine
+    ({!Engine.replan_fold}'s calendar + incremental live set); [false]
+    replays the legacy O(n)-per-event rescan — schedules are bit-identical
+    either way, and the flag is independent of [incremental] (it selects
+    the simulation loop, not the planner).  [stats] accumulates
+    {!Engine.counters} in place.  [decompose] is forwarded to the offline
+    solver's decomposition layer; replanning sub-instances share one
+    release time, hence form a single component, so it never changes
+    results here.  [compress] is forwarded to the solver's interval-tree
+    network compression (default: size-triggered per replan); plans and
+    schedules are identical either way. *)
 
 val run :
   ?tol:float ->
   ?incremental:bool ->
+  ?streaming:bool ->
+  ?stats:Engine.counters ->
   ?decompose:bool ->
   ?compress:bool ->
   Ss_model.Job.instance ->
@@ -60,6 +70,7 @@ val run :
 val schedule :
   ?tol:float ->
   ?incremental:bool ->
+  ?streaming:bool ->
   ?decompose:bool ->
   ?compress:bool ->
   Ss_model.Job.instance ->
@@ -68,6 +79,7 @@ val schedule :
 val energy :
   ?tol:float ->
   ?incremental:bool ->
+  ?streaming:bool ->
   ?decompose:bool ->
   ?compress:bool ->
   Ss_model.Power.t ->

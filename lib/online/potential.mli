@@ -34,9 +34,11 @@ type audit = {
   energy_opt : float;
 }
 
-val audit : ?incremental:bool -> alpha:float -> Ss_model.Job.instance -> audit
+val audit :
+  ?incremental:bool -> ?streaming:bool -> alpha:float -> Ss_model.Job.instance -> audit
 (** [incremental] selects the OA replanning path to audit (session by
-    default; see {!Oa.run_detailed}).
+    default; see {!Oa.run_detailed}); [streaming] selects the simulation
+    loop (calendar/arena by default; see {!Engine.replan_fold}).
     @raise Invalid_argument when [alpha <= 1]. *)
 
 val holds : ?tol:float -> audit -> bool

@@ -53,6 +53,26 @@ let poisson ?(integral = true) ~seed ~machines ~jobs:n ~rate ~mean_work ~slack (
   in
   finalize ~machines ~integral (List.init n mk)
 
+(* Large-trace online stream: Poisson arrivals with bounded laxity, built
+   for the streaming simulator's n up to 10^6 regime.  Unlike [poisson]
+   (slack proportional to work), the deadline here is release + an
+   independent bounded laxity draw, so the active set stays small no
+   matter how long the stream runs — the property that makes per-event
+   cost O(active + log n) instead of O(n). *)
+let stream ?(integral = true) ~seed ~machines ~jobs:n ~rate ~mean_work ~max_laxity () =
+  if n <= 0 then invalid_arg "Generators.stream: jobs <= 0";
+  if rate <= 0. || mean_work <= 0. || max_laxity < 1. then
+    invalid_arg "Generators.stream: bad parameters";
+  let rng = Rng.create ~seed in
+  let now = ref 0. in
+  let mk _ =
+    now := !now +. Rng.exponential rng ~mean:(1. /. rate);
+    let work = Float.max (mean_work /. 20.) (Rng.exponential rng ~mean:mean_work) in
+    let laxity = Rng.uniform rng ~lo:1. ~hi:max_laxity in
+    Job.make ~release:!now ~deadline:(!now +. laxity) ~work
+  in
+  finalize ~machines ~integral (List.init n mk)
+
 (* Bursts of simultaneous arrivals with tight windows, idle gaps between
    bursts. *)
 let bursty ?(integral = true) ~seed ~machines ~bursts ~jobs_per_burst ~gap ~max_work () =

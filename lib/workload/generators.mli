@@ -19,6 +19,17 @@ val poisson :
   unit -> Ss_model.Job.instance
 (** Poisson arrivals, exponential works, deadline = release + slack·work. *)
 
+val stream :
+  ?integral:bool ->
+  seed:int -> machines:int -> jobs:int -> rate:float -> mean_work:float ->
+  max_laxity:float -> unit -> Ss_model.Job.instance
+(** Large-trace online stream: Poisson arrivals, exponential works,
+    deadline = release + an independent laxity uniform in
+    [\[1, max_laxity\]].  The bounded laxity keeps the instantaneous
+    active set O([rate]·[max_laxity]) regardless of [jobs], the regime
+    the streaming simulator's per-event cost analysis assumes; scales to
+    [jobs] = 10^6. *)
+
 val bursty :
   ?integral:bool ->
   seed:int -> machines:int -> bursts:int -> jobs_per_burst:int -> gap:float ->

@@ -262,16 +262,16 @@ let prop_avr_grid_feasible_nonintegral =
       in
       Schedule.is_feasible inst (fst (Avr.run_on_grid inst)))
 
-(* The event-sweep active sets must reproduce the per-interval rescan
-   exactly — same ids in the same ascending order — so the two paths give
-   bitwise-equal schedules and identical peel counts. *)
+(* The streaming calendar/active-set sweep must reproduce the per-interval
+   rescan exactly — same ids in the same ascending order — so the two paths
+   give bitwise-equal schedules and identical peel counts. *)
 let prop_avr_sweep_equals_rescan =
-  QCheck.Test.make ~count:40 ~name:"AVR event sweep = per-interval rescan"
+  QCheck.Test.make ~count:40 ~name:"AVR streaming sweep = per-interval rescan"
     QCheck.small_nat
     (fun seed ->
       let inst = random_instance (seed + 4100) in
-      let s_sweep, i_sweep = Avr.run ~sweep:true inst in
-      let s_scan, i_scan = Avr.run ~sweep:false inst in
+      let s_sweep, i_sweep = Avr.run ~streaming:true inst in
+      let s_scan, i_scan = Avr.run ~streaming:false inst in
       i_sweep = i_scan && Schedule.segments s_sweep = Schedule.segments s_scan)
 
 let test_avr_bound_values () =

@@ -138,6 +138,7 @@ let () =
         ("online", [ "replans"; "rounds"; "resumes"; "carried_jobs"; "speedup" ]);
         ("decomposition", [ "components"; "seq_speedup"; "speedup" ]);
         ("compressed", [ "rounds"; "dense_edges"; "compressed_edges"; "edge_ratio"; "speedup" ]);
+        ("online_engine", [ "events"; "set_ops"; "segments"; "events_per_sec"; "speedup" ]);
       ];
     if !regressions > 0 then begin
       Printf.printf "\n%d benchmark(s) regressed by more than %.0f%%\n" !regressions
