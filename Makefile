@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-json bench-large bench-online-large bench-smoke perf-diff tables micro examples clean
+.PHONY: all build test bench bench-json bench-large bench-online-large bench-throughput bench-smoke perf-diff tables micro examples clean
 
 all: build
 
@@ -36,6 +36,12 @@ bench-large:
 # regenerates BENCH_5.json.
 bench-online-large:
 	dune exec bench/main.exe -- online-large --json BENCH_5.json
+
+# Batch-dispatch throughput (work-stealing crew + canonical memo cache
+# vs sequential per-query scratch solves on a 600-query clustered batch
+# with 75% canonical duplicates); regenerates BENCH_6.json.
+bench-throughput:
+	dune exec bench/main.exe -- throughput --json BENCH_6.json
 
 # Tiny-quota run of the same pipeline (also wired into `dune runtest`).
 bench-smoke:

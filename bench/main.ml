@@ -282,7 +282,60 @@ let large_specs =
     ("heavy/n=2000,m=8", 7, 8, 2000, 1000.);
   ]
 
-let emit_json ~file ~mode rows counters online decomposition compressed online_engine =
+(* Batch dispatcher throughput: a Generators.batch workload (clustered /
+   uniform bases plus canonical-duplicate disguises) solved sequentially
+   from scratch per query, then through Dispatch.solve_batch (persistent
+   crew, per-domain sessions, canonical memo cache) — queries/sec both
+   ways, cache hit rate, steal count, and the bit-identicality check that
+   backs the cache's correctness claim.  The numbers behind the PR 8
+   perf_opt acceptance criterion (BENCH_6.json). *)
+let throughput_counters ~smoke =
+  let specs =
+    if smoke then [ ("batch/q=60,n=10,m=4,dup=0.75", 43, 60, 10, 0.75) ]
+    else [ ("batch/q=600,n=16,m=4,dup=0.75", 43, 600, 16, 0.75) ]
+  in
+  let same_run (a : Ss_core.Offline.F.run) (b : Ss_core.Offline.F.run) =
+    a.breakpoints = b.breakpoints
+    && List.length a.schedule_phases = List.length b.schedule_phases
+    && List.for_all2
+         (fun (p : Ss_core.Offline.F.phase) (q : Ss_core.Offline.F.phase) ->
+           p.members = q.members && p.speed = q.speed && p.procs = q.procs
+           && p.alloc = q.alloc)
+         a.schedule_phases b.schedule_phases
+  in
+  List.map
+    (fun (name, seed, count, jobs, duplicate_rate) ->
+      let insts =
+        Ss_workload.Generators.batch ~duplicate_rate ~seed ~machines:4 ~count ~jobs ()
+      in
+      let scratch () =
+        Array.map (fun i -> Ss_core.Offline.run ~parallel:false i) insts
+      in
+      let baseline = scratch () in
+      let t_seq =
+        Ss_experiments.Common.time_median ~repeats:1 (fun () -> ignore (scratch ()))
+      in
+      let answers = ref [||] in
+      let stats = ref None in
+      (* The dispatcher (and its crew + empty cache) is created inside the
+         timed region: amortizing its setup is part of the claim. *)
+      let t_batch =
+        Ss_experiments.Common.time_median ~repeats:1 (fun () ->
+            let d = Ss_dispatch.Dispatch.create () in
+            answers := Ss_dispatch.Dispatch.solve_batch d insts;
+            stats := Some (Ss_dispatch.Dispatch.stats d);
+            Ss_dispatch.Dispatch.shutdown d)
+      in
+      let stats = Option.get !stats in
+      let identical =
+        Array.length !answers = Array.length baseline
+        && Array.for_all2 same_run !answers baseline
+      in
+      (name, count, stats, t_seq, t_batch, identical))
+    specs
+
+let emit_json ~file ~mode rows counters online decomposition compressed online_engine
+    throughput =
   let open Ss_numeric.Json in
   let num x = if Float.is_finite x then Num x else Null in
   let benchmarks =
@@ -394,6 +447,31 @@ let emit_json ~file ~mode rows counters online decomposition compressed online_e
              ])
          online_engine)
   in
+  let throughput_section =
+    Arr
+      (List.map
+         (fun (name, count, (s : Ss_dispatch.Dispatch.stats), t_seq, t_batch, identical) ->
+           let qps t = float_of_int count /. Float.max 1e-9 (t /. 1e3) in
+           Obj
+             [
+               ("instance", Str name);
+               ("queries", Num (float_of_int count));
+               ("distinct", Num (float_of_int s.misses));
+               ("hits", Num (float_of_int s.hits));
+               ("near_hits", Num (float_of_int s.near_hits));
+               ("hit_rate", num (Ss_dispatch.Dispatch.hit_rate s));
+               ("evictions", Num (float_of_int s.evictions));
+               ("steals", Num (float_of_int s.steals));
+               ("domains", Num (float_of_int s.domains));
+               ("sequential_ms", num t_seq);
+               ("batch_ms", num t_batch);
+               ("sequential_qps", num (qps t_seq));
+               ("batch_qps", num (qps t_batch));
+               ("speedup", num (t_seq /. Float.max 1e-9 t_batch));
+               ("bit_identical", Bool identical);
+             ])
+         throughput)
+  in
   let doc =
     Obj
       [
@@ -405,6 +483,7 @@ let emit_json ~file ~mode rows counters online decomposition compressed online_e
         ("decomposition", decomposition_section);
         ("compressed", compressed_section);
         ("online_engine", online_engine_section);
+        ("throughput", throughput_section);
       ]
   in
   Out_channel.with_open_text file (fun oc ->
@@ -461,6 +540,7 @@ let run_micro ?json_file ?(smoke = false) () =
       (decomposition_counters ~smoke)
       (compressed_counters (compressed_specs ~smoke))
       (online_engine_counters (online_engine_specs ~smoke))
+      (throughput_counters ~smoke)
 
 (* `main.exe large [--json BENCH_4.json]`: the end-to-end scaling table for
    interval-tree compression (dense vs compressed round networks on the
@@ -500,7 +580,7 @@ let run_large ?json_file () =
           ])
         counters
     in
-    emit_json ~file ~mode:"large" rows [] [] [] counters []
+    emit_json ~file ~mode:"large" rows [] [] [] counters [] []
 
 (* `main.exe online-large [--json BENCH_5.json]`: the end-to-end scaling
    table for the streaming event loop (calendar + incremental active set +
@@ -551,11 +631,58 @@ let run_online_large ?json_file () =
           | None -> []))
         counters
     in
-    emit_json ~file ~mode:"online-large" rows [] [] [] [] counters
+    emit_json ~file ~mode:"online-large" rows [] [] [] [] counters []
+
+(* `main.exe throughput [--json BENCH_6.json]`: batch-dispatch throughput
+   against sequential per-query scratch solves on a ≥500-query clustered
+   batch with a 75% canonical-duplicate rate.  Both qps figures also land
+   in [benchmarks] so perf_diff can gate BENCH_6-to-BENCH_6 drift. *)
+let run_throughput ?json_file ?(smoke = false) () =
+  print_endline "== batch dispatch: work-stealing crew + canonical memo cache ==";
+  let counters = throughput_counters ~smoke in
+  let printable =
+    List.map
+      (fun (name, count, (s : Ss_dispatch.Dispatch.stats), t_seq, t_batch, identical) ->
+        let qps t = float_of_int count /. Float.max 1e-9 (t /. 1e3) in
+        [
+          name;
+          string_of_int count;
+          Printf.sprintf "%.0f%%" (100. *. Ss_dispatch.Dispatch.hit_rate s);
+          string_of_int s.steals;
+          string_of_int s.domains;
+          Printf.sprintf "%.0f" (qps t_seq);
+          Printf.sprintf "%.0f" (qps t_batch);
+          Printf.sprintf "%.2fx" (t_seq /. Float.max 1e-9 t_batch);
+          (if identical then "yes" else "NO");
+        ])
+      counters
+  in
+  Ss_numeric.Table.print
+    (Ss_numeric.Table.make ~title:""
+       ~headers:
+         [
+           "batch"; "queries"; "hit rate"; "steals"; "domains"; "seq q/s"; "batch q/s";
+           "speedup"; "bit-identical";
+         ]
+       printable);
+  print_newline ();
+  match json_file with
+  | None -> ()
+  | Some file ->
+    let rows =
+      List.concat_map
+        (fun (name, _, _, t_seq, t_batch, _) ->
+          [
+            ("dispatch-sequential/" ^ name, t_seq *. 1e6);
+            ("dispatch-batch/" ^ name, t_batch *. 1e6);
+          ])
+        counters
+    in
+    emit_json ~file ~mode:"throughput" rows [] [] [] [] [] counters
 
 let usage () =
   Printf.printf
-    "usage: main.exe [tables | micro | smoke | large | online-large | <experiment id>] [--json FILE]\n";
+    "usage: main.exe [tables | micro | smoke | large | online-large | throughput | <experiment id>] [--json FILE]\n";
   Printf.printf "experiment ids: %s\n" (String.concat " " (Ss_experiments.Registry.ids ()))
 
 let () =
@@ -577,6 +704,7 @@ let () =
   | [ "smoke" ] -> run_micro ?json_file ~smoke:true ()
   | [ "large" ] -> run_large ?json_file ()
   | [ "online-large" ] -> run_online_large ?json_file ()
+  | [ "throughput" ] -> run_throughput ?json_file ()
   | [ id ] ->
     if not (Ss_experiments.Registry.run_one (String.lowercase_ascii id)) then begin
       Printf.printf "unknown experiment id: %s\n" id;

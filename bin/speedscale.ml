@@ -5,6 +5,7 @@
      validate    check a trace file
      schedule    offline optimal schedule for a trace (Theorem 1 algorithm)
      simulate    run an online/non-migratory algorithm on a trace
+     batch       drive a multi-instance trace through the batch dispatcher
      experiment  regenerate one experiment table (see DESIGN.md section 6)
 
    Examples:
@@ -272,6 +273,97 @@ let export_cmd =
     (Cmd.info "export" ~doc:"Export the instance or its optimal schedule as JSON")
     Term.(ret (const export $ trace_arg $ alpha_arg $ what $ output))
 
+(* --- batch ----------------------------------------------------------------- *)
+
+let batch path algo alpha domains capacity no_cache verbose =
+  let algo_v =
+    match algo with
+    | "solve" -> `Ok Ss_dispatch.Dispatch.Solve
+    | "oa" -> `Ok Ss_dispatch.Dispatch.Oa
+    | "avr" -> `Ok Ss_dispatch.Dispatch.Avr
+    | _ -> `Error (false, "algo must be solve, oa or avr")
+  in
+  let batch_v =
+    try `Ok (Ss_workload.Trace.load_batch path) with
+    | Ss_workload.Trace.Parse_error (line, msg) ->
+      `Error (false, Printf.sprintf "%s:%d: %s" path line msg)
+    | Invalid_argument msg -> `Error (false, Printf.sprintf "%s: %s" path msg)
+  in
+  match (algo_v, batch_v, power_of_alpha alpha) with
+  | (`Error _ as e), _, _ -> e
+  | _, (`Error _ as e), _ -> e
+  | _, _, (`Error _ as e) -> e
+  | `Ok algo_v, `Ok insts, `Ok power ->
+    let d =
+      Ss_dispatch.Dispatch.create ?domains
+        ?capacity:(if no_cache then Some 0 else capacity)
+        ()
+    in
+    let queries =
+      Array.map (fun instance -> { Ss_dispatch.Dispatch.algo = algo_v; instance }) insts
+    in
+    let t0 = Unix.gettimeofday () in
+    let outcomes = Ss_dispatch.Dispatch.batch d queries in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let s = Ss_dispatch.Dispatch.stats d in
+    Ss_dispatch.Dispatch.shutdown d;
+    let energy = function
+      | Ss_dispatch.Dispatch.Run r -> Ss_core.Offline.energy_of_run power r
+      | Ss_dispatch.Dispatch.Sched sched -> Schedule.energy power sched
+    in
+    if verbose then
+      Array.iteri
+        (fun i out ->
+          Printf.printf "instance %d: %d jobs, %d machines, energy %.6g\n" i
+            (Job.num_jobs insts.(i)) insts.(i).machines (energy out))
+        outcomes;
+    let total = Array.fold_left (fun acc out -> acc +. energy out) 0. outcomes in
+    Printf.printf
+      "%d queries (%s) in %.1f ms (%.0f q/s): total energy %.6g at P(s)=s^%g\n"
+      (Array.length outcomes) algo (elapsed *. 1e3)
+      (float_of_int (Array.length outcomes) /. Float.max 1e-9 elapsed)
+      total alpha;
+    Printf.printf
+      "cache: %d hits / %d queries (%.0f%%), %d near hits, %d resident, %d evictions; \
+       crew: %d domains, %d steals\n"
+      s.hits s.queries
+      (100. *. Ss_dispatch.Dispatch.hit_rate s)
+      s.near_hits s.resident s.evictions s.domains s.steals;
+    `Ok ()
+
+let batch_cmd =
+  let algo =
+    Arg.(
+      value
+      & opt string "solve"
+      & info [ "a"; "algo" ] ~docv:"ALGO" ~doc:"Query type: solve, oa, or avr.")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"D" ~doc:"Worker domains (default: available cores).")
+  in
+  let capacity =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "capacity" ] ~docv:"C" ~doc:"Memo-cache capacity (default 1024).")
+  in
+  let no_cache =
+    Arg.(value & flag & info [ "no-cache" ] ~doc:"Disable the canonical memo cache.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print one line per instance.")
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Solve a multi-instance trace ('---'-separated traces) through the batch \
+          dispatcher (work-stealing crew + canonical memo cache)")
+    Term.(
+      ret (const batch $ trace_arg $ algo $ alpha_arg $ domains $ capacity $ no_cache $ verbose))
+
 (* --- experiment ----------------------------------------------------------- *)
 
 let experiment id =
@@ -302,4 +394,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          [ generate_cmd; validate_cmd; schedule_cmd; simulate_cmd; profile_cmd; export_cmd; experiment_cmd ]))
+          [
+            generate_cmd; validate_cmd; schedule_cmd; simulate_cmd; profile_cmd;
+            export_cmd; batch_cmd; experiment_cmd;
+          ]))

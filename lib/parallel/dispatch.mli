@@ -1,0 +1,84 @@
+(** Batched multi-query solving: a persistent work-stealing crew
+    ({!Ss_parallel.Pool.Crew}) drives many offline solves and online
+    simulations through per-domain solver sessions and a canonical-instance
+    memo cache.
+
+    Every query is answered through its canonical form
+    ({!Ss_model.Canon.canonicalize}): offline solves take the full
+    integral time shift + power-of-two work scale + job sort; simulation
+    queries take the work scale only (their schedules are order-sensitive
+    and carry absolute interior times that make the shift inexact).  The
+    dispatcher
+    solves the canonical instance on the executing worker's persistent
+    {!Ss_core.Offline.F.Session} (so flow arenas and warm-start state
+    survive across queries, not just across rounds of one solve) and maps
+    the answer back through the inverse transform.  An LRU keyed by the
+    canonical digest short-circuits repeated canonical forms entirely.
+
+    Determinism: because hits and misses both reduce to the same
+    deterministic canonical solve, a batch's semantic payload (grid
+    breakpoints, phase partition, speeds, reservations, allocations /
+    schedule segments) is bit-identical whatever the cache state, worker
+    count or stealing interleaving — and, thanks to the exactness
+    discipline of {!Ss_model.Canon}, bit-identical to a direct scratch
+    solve of each query whenever the canonical sort permutation is the
+    identity.  Only the run's [stats] counters (rounds/resumes) may
+    reflect which arena answered.
+
+    A dispatcher is meant to be driven from one thread at a time; worker
+    state is safe against the crew's internal parallelism, not against
+    concurrent [batch] calls. *)
+
+type algo =
+  | Solve  (** offline optimal run (Theorem 1 algorithm) *)
+  | Oa  (** Online Algorithm(m) simulation *)
+  | Avr  (** Average Rate(m) simulation (integral times required) *)
+
+type query = { algo : algo; instance : Ss_model.Job.instance }
+
+type outcome =
+  | Run of Ss_core.Offline.F.run  (** answer to a [Solve] query *)
+  | Sched of Ss_model.Schedule.t  (** answer to a simulation query *)
+
+type stats = {
+  queries : int;  (** queries answered since [create] *)
+  hits : int;  (** exact canonical-digest cache hits *)
+  near_hits : int;
+      (** misses whose time structure (shape digest) was seen before —
+          the session arena is already warm for them *)
+  misses : int;  (** queries that ran a solver/simulator *)
+  evictions : int;  (** LRU entries dropped at capacity *)
+  resident : int;  (** entries currently cached *)
+  steals : int;  (** crew chunk steals since [create] *)
+  domains : int;  (** crew size, including the calling domain *)
+}
+
+type t
+
+val create : ?domains:int -> ?capacity:int -> ?canonical:bool -> unit -> t
+(** [domains] sizes the crew (default {!Ss_parallel.Pool.default_domains});
+    [capacity] bounds the memo cache (default 1024 entries; [0] disables
+    caching); [canonical:false] (default [true]) additionally disables
+    canonicalization, so only bitwise-identical instances can ever hit —
+    the scratch baseline for benchmarks. *)
+
+val batch : t -> query array -> outcome array
+(** Answer a batch over the crew.  Outcome [i] answers query [i]; the
+    first worker exception is re-raised after in-flight queries drain. *)
+
+val query : t -> query -> outcome
+(** Answer one query on the calling domain (worker 0's sessions). *)
+
+val solve : t -> Ss_model.Job.instance -> Ss_core.Offline.F.run
+(** [query] specialized to [Solve]. *)
+
+val solve_batch : t -> Ss_model.Job.instance array -> Ss_core.Offline.F.run array
+(** [batch] specialized to all-[Solve] queries. *)
+
+val stats : t -> stats
+val hit_rate : stats -> float
+(** [hits / queries] (0 on an idle dispatcher). *)
+
+val shutdown : t -> unit
+(** Join the crew domains (idempotent).  The dispatcher remains usable —
+    subsequent queries run inline on the calling domain. *)

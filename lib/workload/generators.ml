@@ -242,3 +242,70 @@ let with_load_factor target (inst : Job.instance) =
   let current = Job.load_factor inst in
   let factor = target /. current in
   { inst with jobs = Array.map (Job.scale_work factor) inst.jobs }
+
+(* Batch of instances with a controlled canonical-duplicate rate — the
+   workload behind the dispatcher's memo cache (bench throughput, E2g).
+   Roughly [1 - duplicate_rate] of the [count] instances are distinct
+   bases (clustered and uniform families alternating); the rest are
+   disguised duplicates of a random base: an integral time shift plus a
+   power-of-two work scale, exactly the invariances Canon normalizes
+   away, so each disguise canonicalizes onto its base.  Base jobs are
+   pre-sorted by the canonical (release, deadline, work) triple, and both
+   disguises preserve that order, so the dispatcher's canonical-route
+   answers stay bit-identical to direct scratch solves of every batch
+   member.  The batch is shuffled deterministically, making the hit
+   pattern steal-order-independent. *)
+let batch ?(duplicate_rate = 0.5) ~seed ~machines ~count ~jobs () =
+  if count <= 0 then invalid_arg "Generators.batch: count <= 0";
+  if duplicate_rate < 0. || duplicate_rate >= 1. then
+    invalid_arg "Generators.batch: duplicate_rate must be in [0, 1)";
+  let sort_jobs (inst : Job.instance) =
+    let a = Array.copy inst.jobs in
+    Array.sort
+      (fun (a : Job.t) (b : Job.t) ->
+        compare (a.release, a.deadline, a.work) (b.release, b.deadline, b.work))
+      a;
+    { inst with jobs = a }
+  in
+  let bases =
+    Float.to_int (Float.ceil (float_of_int count *. (1. -. duplicate_rate)))
+    |> max 1
+  in
+  let rng = Rng.create ~seed in
+  let base i =
+    let seed = seed + (257 * i) in
+    sort_jobs
+      (if i mod 2 = 0 then
+         clustered ~seed ~machines ~clusters:3
+           ~jobs_per_cluster:(max 2 (jobs / 3))
+           ~cluster_span:20. ~gap:4. ~max_work:4. ()
+       else uniform ~seed ~machines ~jobs ~horizon:40. ~max_work:4. ())
+  in
+  let pool = Array.init bases base in
+  let disguise (inst : Job.instance) =
+    let dt = float_of_int (1 + Rng.int rng ~bound:1000) in
+    let wexp = Rng.int rng ~bound:7 - 3 in
+    let jobs =
+      Array.map
+        (fun (j : Job.t) ->
+          {
+            Job.release = j.release +. dt;
+            deadline = j.deadline +. dt;
+            work = Float.ldexp j.work wexp;
+          })
+        inst.jobs
+    in
+    { inst with jobs }
+  in
+  let all =
+    Array.init count (fun i ->
+        if i < bases then pool.(i) else disguise (Rng.choice rng pool))
+  in
+  (* Fisher–Yates, deterministic in [seed]. *)
+  for i = count - 1 downto 1 do
+    let j = Rng.int rng ~bound:(i + 1) in
+    let tmp = all.(i) in
+    all.(i) <- all.(j);
+    all.(j) <- tmp
+  done;
+  all

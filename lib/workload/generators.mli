@@ -85,5 +85,19 @@ val clustered :
     offline instance decomposes into exactly [clusters] independent
     components.  [densities] are per-batch work multipliers (cycled). *)
 
+val batch :
+  ?duplicate_rate:float ->
+  seed:int -> machines:int -> count:int -> jobs:int -> unit ->
+  Ss_model.Job.instance array
+(** [count] instances of ~[jobs] jobs each with a controlled
+    canonical-duplicate rate (default [0.5]): the non-duplicate share are
+    distinct clustered/uniform bases with canonically sorted jobs, the
+    rest are disguises of random bases under an integral time shift and a
+    power-of-two work scale — exactly the invariances
+    {!Ss_model.Canon.canonicalize} removes, so each disguise
+    canonicalizes onto its base (a dispatcher cache hit).  The batch
+    order is a deterministic shuffle.  Drives the throughput bench and
+    the [speedscale batch] subcommand. *)
+
 val with_load_factor : float -> Ss_model.Job.instance -> Ss_model.Job.instance
 (** Rescale works so that [Job.load_factor] hits the target. *)

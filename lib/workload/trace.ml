@@ -58,11 +58,43 @@ let save path inst =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (to_string inst))
 
-let load path =
+let read_file path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
       let len = in_channel_length ic in
-      let text = really_input_string ic len in
-      of_string text)
+      really_input_string ic len)
+
+let load path = of_string (read_file path)
+
+(* Multi-instance batches: single-instance trace texts joined by a
+   '---' separator line.  A file with no separator parses as a
+   one-instance batch, so [load_batch] also accepts plain traces. *)
+
+let batch_to_string insts =
+  Array.to_list insts |> List.map to_string |> String.concat "---\n"
+
+let batch_of_string text =
+  let rec split chunk chunks = function
+    | [] -> List.rev (List.rev chunk :: chunks)
+    | line :: rest when String.trim line = "---" ->
+      split [] (List.rev chunk :: chunks) rest
+    | line :: rest -> split (line :: chunk) chunks rest
+  in
+  let chunks = split [] [] (String.split_on_char '\n' text) in
+  let nonempty lines = List.exists (fun l -> String.trim l <> "") lines in
+  let insts =
+    List.filter nonempty chunks
+    |> List.map (fun lines -> of_string (String.concat "\n" lines))
+  in
+  if insts = [] then raise (Parse_error (0, "empty batch"));
+  Array.of_list insts
+
+let save_batch path insts =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (batch_to_string insts))
+
+let load_batch path = batch_of_string (read_file path)

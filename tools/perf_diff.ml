@@ -8,8 +8,9 @@
    slowed down by more than FRAC (default 0.25, i.e. 25%) is a regression
    and makes the exit status 1; benchmarks present in only one file are
    printed as warnings and never fail the diff.  The solver, online,
-   decomposition and compressed sections are diffed informationally
-   (counter drift is interesting but never fatal: timings there are
+   decomposition, compressed, online_engine and throughput sections are
+   diffed informationally (counter drift — including dispatcher cache
+   hit rates — is interesting but never fatal: timings there are
    medians-of-3, too noisy to gate on). *)
 
 module Json = Ss_numeric.Json
@@ -139,6 +140,8 @@ let () =
         ("decomposition", [ "components"; "seq_speedup"; "speedup" ]);
         ("compressed", [ "rounds"; "dense_edges"; "compressed_edges"; "edge_ratio"; "speedup" ]);
         ("online_engine", [ "events"; "set_ops"; "segments"; "events_per_sec"; "speedup" ]);
+        ( "throughput",
+          [ "queries"; "hits"; "near_hits"; "hit_rate"; "steals"; "batch_qps"; "speedup" ] );
       ];
     if !regressions > 0 then begin
       Printf.printf "\n%d benchmark(s) regressed by more than %.0f%%\n" !regressions
