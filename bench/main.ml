@@ -12,6 +12,11 @@
                                           — streaming vs legacy online
                                             simulation on stream workloads
                                             (n=1e4/1e5/1e6; BENCH_5.json)
+     dune exec bench/main.exe -- crossphase
+                                          — cross-phase flow reuse vs legacy
+                                            per-phase rebuilds on a multi-phase
+                                            heavy n=1000, m=8 instance
+                                            (BENCH_7.json)
      dune exec bench/main.exe -- tables   — tables only
 
    Appending [--json FILE] to the micro/smoke modes additionally writes a
@@ -334,8 +339,50 @@ let throughput_counters ~smoke =
       (name, count, stats, t_seq, t_batch, identical))
     specs
 
+(* Parametric cross-phase flow reuse: one persistent network per
+   component, drained of the accepted class's flow and rescaled to the
+   next conjectured speed at every phase boundary, against the legacy
+   per-phase rebuild — timings, the new phase counters, and the full
+   bitwise-identity check (breakpoints, members, speeds, reservations,
+   allocations) behind the PR 9 perf_opt acceptance criterion
+   (BENCH_7.json). *)
+let crossphase_specs ~smoke =
+  if smoke then [ ("heavy/n=120,m=8", 7, 1.1, 8, 120, 60.) ]
+  else [ ("heavy/n=1000,m=8", 7, 1.1, 8, 1000, 500.) ]
+
+let crossphase_counters specs =
+  let same_run (a : Ss_core.Offline.F.run) (b : Ss_core.Offline.F.run) =
+    a.breakpoints = b.breakpoints
+    && List.length a.schedule_phases = List.length b.schedule_phases
+    && List.for_all2
+         (fun (p : Ss_core.Offline.F.phase) (q : Ss_core.Offline.F.phase) ->
+           p.members = q.members && p.speed = q.speed && p.procs = q.procs
+           && p.alloc = q.alloc)
+         a.schedule_phases b.schedule_phases
+  in
+  List.map
+    (fun (name, seed, shape, machines, jobs, horizon) ->
+      let inst =
+        Ss_workload.Generators.heavy ~shape ~seed ~machines ~jobs ~horizon ()
+      in
+      let repeats = if jobs >= 500 then 1 else 3 in
+      let measure cross_phase =
+        let last = ref None in
+        let ms =
+          Ss_experiments.Common.time_median ~repeats (fun () ->
+              last := Some (Ss_core.Offline.run ~cross_phase inst))
+        in
+        match !last with
+        | Some (r : Ss_core.Offline.F.run) -> (r, ms)
+        | None -> assert false
+      in
+      let legacy, t_legacy = measure false in
+      let cross, t_cross = measure true in
+      (name, cross.stats, t_legacy, t_cross, same_run cross legacy))
+    specs
+
 let emit_json ~file ~mode rows counters online decomposition compressed online_engine
-    throughput =
+    throughput crossphase =
   let open Ss_numeric.Json in
   let num x = if Float.is_finite x then Num x else Null in
   let benchmarks =
@@ -358,6 +405,16 @@ let emit_json ~file ~mode rows counters online decomposition compressed online_e
                ("edges", Num (float_of_int s.net_edges));
                ("pushes", Num (float_of_int s.net_pushes));
                ("bfs_waves", Num (float_of_int s.net_bfs_waves));
+               ("phase_resumes", Num (float_of_int s.phase_resumes));
+               ("phase_drain_edges", Num (float_of_int s.phase_drain_edges));
+               ( "phase_edges",
+                 Arr
+                   (Array.to_list
+                      (Array.map (fun e -> Num (float_of_int e)) s.phase_edges)) );
+               ( "phase_bfs_waves",
+                 Arr
+                   (Array.to_list
+                      (Array.map (fun w -> Num (float_of_int w)) s.phase_bfs_waves)) );
                ("scratch_ms", num t_scratch);
                ("incremental_ms", num t_inc);
                ("speedup", num (t_scratch /. Float.max 1e-9 t_inc));
@@ -472,6 +529,32 @@ let emit_json ~file ~mode rows counters online decomposition compressed online_e
              ])
          throughput)
   in
+  let cross_phase_section =
+    Arr
+      (List.map
+         (fun (name, (s : Ss_core.Offline.F.stats), t_legacy, t_cross, identical) ->
+           Obj
+             [
+               ("instance", Str name);
+               ("phases", Num (float_of_int s.phases));
+               ("phase_resumes", Num (float_of_int s.phase_resumes));
+               ("phase_drain_edges", Num (float_of_int s.phase_drain_edges));
+               ("peak_edges", Num (float_of_int s.net_edges));
+               ( "phase_edges",
+                 Arr
+                   (Array.to_list
+                      (Array.map (fun e -> Num (float_of_int e)) s.phase_edges)) );
+               ( "phase_bfs_waves",
+                 Arr
+                   (Array.to_list
+                      (Array.map (fun w -> Num (float_of_int w)) s.phase_bfs_waves)) );
+               ("legacy_ms", num t_legacy);
+               ("cross_ms", num t_cross);
+               ("speedup", num (t_legacy /. Float.max 1e-9 t_cross));
+               ("bit_identical", Bool identical);
+             ])
+         crossphase)
+  in
   let doc =
     Obj
       [
@@ -484,6 +567,7 @@ let emit_json ~file ~mode rows counters online decomposition compressed online_e
         ("compressed", compressed_section);
         ("online_engine", online_engine_section);
         ("throughput", throughput_section);
+        ("cross_phase", cross_phase_section);
       ]
   in
   Out_channel.with_open_text file (fun oc ->
@@ -541,6 +625,7 @@ let run_micro ?json_file ?(smoke = false) () =
       (compressed_counters (compressed_specs ~smoke))
       (online_engine_counters (online_engine_specs ~smoke))
       (throughput_counters ~smoke)
+      (crossphase_counters (crossphase_specs ~smoke:true))
 
 (* `main.exe large [--json BENCH_4.json]`: the end-to-end scaling table for
    interval-tree compression (dense vs compressed round networks on the
@@ -580,7 +665,7 @@ let run_large ?json_file () =
           ])
         counters
     in
-    emit_json ~file ~mode:"large" rows [] [] [] counters [] []
+    emit_json ~file ~mode:"large" rows [] [] [] counters [] [] []
 
 (* `main.exe online-large [--json BENCH_5.json]`: the end-to-end scaling
    table for the streaming event loop (calendar + incremental active set +
@@ -631,7 +716,7 @@ let run_online_large ?json_file () =
           | None -> []))
         counters
     in
-    emit_json ~file ~mode:"online-large" rows [] [] [] [] counters []
+    emit_json ~file ~mode:"online-large" rows [] [] [] [] counters [] []
 
 (* `main.exe throughput [--json BENCH_6.json]`: batch-dispatch throughput
    against sequential per-query scratch solves on a ≥500-query clustered
@@ -678,11 +763,56 @@ let run_throughput ?json_file ?(smoke = false) () =
           ])
         counters
     in
-    emit_json ~file ~mode:"throughput" rows [] [] [] [] [] counters
+    emit_json ~file ~mode:"throughput" rows [] [] [] [] [] counters []
+
+(* `main.exe crossphase [--json BENCH_7.json]`: parametric cross-phase
+   flow reuse against the legacy per-phase rebuild on a multi-phase heavy
+   n=1000, m=8 instance.  Both timings also land in [benchmarks] so
+   perf_diff can gate BENCH_7-to-BENCH_7 drift. *)
+let run_crossphase ?json_file ?(smoke = false) () =
+  print_endline "== cross-phase flow reuse: persistent network vs per-phase rebuilds ==";
+  let counters = crossphase_counters (crossphase_specs ~smoke) in
+  let printable =
+    List.map
+      (fun (name, (s : Ss_core.Offline.F.stats), t_legacy, t_cross, identical) ->
+        [
+          name;
+          string_of_int s.phases;
+          string_of_int s.phase_resumes;
+          string_of_int s.phase_drain_edges;
+          Printf.sprintf "%.1f ms" t_legacy;
+          Printf.sprintf "%.1f ms" t_cross;
+          Printf.sprintf "%.2fx" (t_legacy /. Float.max 1e-9 t_cross);
+          (if identical then "yes" else "NO");
+        ])
+      counters
+  in
+  Ss_numeric.Table.print
+    (Ss_numeric.Table.make ~title:""
+       ~headers:
+         [
+           "instance"; "phases"; "resumes"; "drained edges"; "legacy"; "cross-phase";
+           "speedup"; "bit-identical";
+         ]
+       printable);
+  print_newline ();
+  match json_file with
+  | None -> ()
+  | Some file ->
+    let rows =
+      List.concat_map
+        (fun (name, _, t_legacy, t_cross, _) ->
+          [
+            ("offline-legacy/" ^ name, t_legacy *. 1e6);
+            ("offline-crossphase/" ^ name, t_cross *. 1e6);
+          ])
+        counters
+    in
+    emit_json ~file ~mode:"crossphase" rows [] [] [] [] [] [] counters
 
 let usage () =
   Printf.printf
-    "usage: main.exe [tables | micro | smoke | large | online-large | throughput | <experiment id>] [--json FILE]\n";
+    "usage: main.exe [tables | micro | smoke | large | online-large | throughput | crossphase | <experiment id>] [--json FILE]\n";
   Printf.printf "experiment ids: %s\n" (String.concat " " (Ss_experiments.Registry.ids ()))
 
 let () =
@@ -705,6 +835,7 @@ let () =
   | [ "large" ] -> run_large ?json_file ()
   | [ "online-large" ] -> run_online_large ?json_file ()
   | [ "throughput" ] -> run_throughput ?json_file ()
+  | [ "crossphase" ] -> run_crossphase ?json_file ()
   | [ id ] ->
     if not (Ss_experiments.Registry.run_one (String.lowercase_ascii id)) then begin
       Printf.printf "unknown experiment id: %s\n" id;

@@ -126,8 +126,9 @@ let schedule path alpha show gantt svg certify =
   | `Ok inst, `Ok power ->
     let sched, info = Ss_core.Offline.solve inst in
     let feasible = Schedule.is_feasible inst sched in
-    Printf.printf "optimal schedule: energy %.6g at P(s)=s^%g (%d speed classes, %d flow runs)\n"
-      (Schedule.energy power sched) alpha info.phases info.rounds;
+    Printf.printf
+      "optimal schedule: energy %.6g at P(s)=s^%g (%d speed classes, %d flow runs, %d phase resumes)\n"
+      (Schedule.energy power sched) alpha info.phases info.rounds info.phase_resumes;
     Printf.printf "speeds: %s\n"
       (String.concat ", " (Array.to_list (Array.map (Printf.sprintf "%.4g") info.speeds)));
     Printf.printf "migrations: %d, feasible: %b\n"

@@ -58,6 +58,10 @@ struct
     net_edges : int;                (* peak forward-edge count of a round network *)
     net_pushes : int;               (* edge-flow updates across the whole solve *)
     net_bfs_waves : int;            (* max-flow BFS passes across the whole solve *)
+    phase_resumes : int;            (* phase boundaries answered by drain/rescale/resume *)
+    phase_drain_edges : int;        (* flow-carrying edges drained at those boundaries *)
+    phase_edges : int array;        (* per phase: peak forward-edge count of its networks *)
+    phase_bfs_waves : int array;    (* per phase: BFS passes spent in its rounds *)
   }
 
   type run = {
@@ -283,12 +287,36 @@ struct
      busy times and energies are bit-identical to dense mode, while the
      split of t_kj among equal-speed members may differ (both splits are
      maximum flows of the same accepting network).  See DESIGN.md,
-     "Interval-tree network compression". *)
+     "Interval-tree network compression".
+
+     Cross-phase mode ([cross_phase], default on except in from-scratch
+     [Rebuild] runs and under an [on_flow] hook) extends the reuse across
+     *phase* boundaries: the network is built once for the whole solve.
+     When phase i is accepted, its flow is supported entirely on the
+     accepted members (victims were drained at their removal), so draining
+     the accepted jobs' flow leaves exactly zero; the boundary counts the
+     drained flow-carrying edges, zeroes the flows, rescales the surviving
+     source capacities from s_i to the next conjectured speed s_{i+1} (the
+     phase speeds strictly decrease, so w/s only grows — the installed
+     zero flow trivially stays feasible under the monotone capacity
+     increase) and resumes Dinic on the warm topology.  Phase i+1's
+     reservations satisfy m_ij <= phase i's (n_j shrinks, used_j grows),
+     so the phase-1 topology is a superset of every later phase's: the
+     retired edges keep capacity 0 and flow 0, are never traversable, and
+     the padded network's runs are bit-for-bit the compact rebuild's (the
+     [Rewind] argument, applied across phases).  On the dense path the
+     canonical re-extraction of a repaired accepted phase becomes an
+     in-place rewind of the same persistent network; on the compressed
+     path the relaxation network is resumed once per phase and the
+     per-round repairs are skipped entirely — the sweep oracle answers
+     every round's accept test and victim certificate, so the relaxation
+     flow is only an upper-bound witness, and re-repairing it each round
+     was pure overhead.  See DESIGN.md, "Parametric cross-phase reuse". *)
   type round_strategy = Resume | Rebuild | Rewind
 
   let solve_in ?(flow_algorithm = Dinic) ?(victim_rule = Least_flow)
-      ?(strategy = Resume) ?(group_removal = false) ?compress ?on_flow ~ws
-      ~machines (jobs : job array) =
+      ?(strategy = Resume) ?(group_removal = false) ?compress ?cross_phase
+      ?on_flow ?on_phase ~ws ~machines (jobs : job array) =
     if machines <= 0 then invalid_arg "Offline.solve: machines <= 0";
     Array.iter
       (fun j ->
@@ -420,6 +448,21 @@ struct
     let grouped = ref 0 in
     let net_edges = ref 0 in
     let phase_count = ref 0 in
+    (* Cross-phase reuse: build the network once, carry the flow arena
+       across phase boundaries (drain / rescale / resume).  [Rebuild] runs
+       stay fully from-scratch — they are the paper-literal reference — and
+       an [on_flow] observer sees per-phase compact networks unless the
+       caller opts in explicitly. *)
+    let cross_phase =
+      (match cross_phase with Some b -> b | None -> on_flow = None)
+      && strategy <> Rebuild
+    in
+    let phase_resumes = ref 0 in
+    let phase_drain_edges = ref 0 in
+    let phase_edges = ref [] in      (* per-phase peaks, reversed *)
+    let phase_waves = ref [] in      (* per-phase BFS-wave deltas, reversed *)
+    let waves_mark = ref 0 in
+    let phase_peak = ref 0 in        (* edge peak of the current phase's rounds *)
     (* One arena for every round of every phase; [Flow.clear] keeps the
        allocations.  [job_edge] is a flat [i * k + j] edge-id table
        (-1 = absent): no hashing in the inner loop, and extraction walks it
@@ -1002,14 +1045,45 @@ struct
           Flow.reset_flows g;
           ignore (Flow.push_relabel g ~source:0 ~sink:1)
       in
-      build_net ();
-      run_from_zero ();
+      (* Install this phase's initial flow: phase 1 (and every phase of a
+         legacy run) builds the network and solves from zero; a cross-phase
+         boundary instead drains the accepted flow (counting the edges it
+         occupied), rescales the surviving source capacities from the old
+         speed to the new conjecture and the sink capacities to the shrunk
+         reservations, and resumes Dinic over the warm topology. *)
+      waves_mark := (Flow.counters g).Flow.bfs_waves;
+      phase_peak := 0;
+      if (not cross_phase) || !phase_count = 1 then begin
+        build_net ();
+        run_from_zero ()
+      end
+      else begin
+        let drained = ref 0 in
+        Flow.iter_edges g (fun ~id:_ ~src:_ ~dst:_ ~cap:_ ~flow ->
+            if F.sign flow > 0 then incr drained);
+        phase_drain_edges := !phase_drain_edges + !drained;
+        Flow.reset_flows g;
+        for i = 0 to n - 1 do
+          if source_edge.(i) >= 0 then
+            Flow.set_capacity g source_edge.(i)
+              ~cap:(if candidate.(i) then F.div jobs.(i).work !speed else F.zero)
+        done;
+        for j = 0 to k - 1 do
+          if sink_edge.(j) >= 0 then
+            Flow.set_capacity g sink_edge.(j)
+              ~cap:(F.mul (F.of_int procs.(j)) widths.(j))
+        done;
+        incr phase_resumes;
+        run_from_zero ()
+      end;
+      (match on_phase with Some f -> f !phase_count !speed g | None -> ());
       let accepted = ref None in
       let repaired = ref false in
       while !accepted = None do
         incr rounds;
         (match on_flow with Some f -> f g | None -> ());
         if Flow.num_edges g > !net_edges then net_edges := Flow.num_edges g;
+        if Flow.num_edges g > !phase_peak then phase_peak := Flow.num_edges g;
         (* The accept test: on the dense network the installed flow value
            itself; in compressed mode the installed flow only bounds the
            dense value from above (the network is a relaxation), so the
@@ -1032,10 +1106,20 @@ struct
              busy times and energies are identical either way; only the
              split of t_kj among equal-speed members may differ, both
              splits being maximum flows of the same network.) *)
-          if (not use_compress) && !repaired then begin
-            build ();
-            run_from_zero ()
-          end;
+          if (not use_compress) && !repaired then
+            if cross_phase then begin
+              (* In-place canonical re-extraction: the repairs kept every
+                 capacity current, and dead (zero-capacity) edges are never
+                 traversable, so zeroing the flows and re-running over the
+                 persistent topology is bit-identical to the compact
+                 rebuild-and-recompute — without paying the rebuild. *)
+              Flow.reset_flows g;
+              run_from_zero ()
+            end
+            else begin
+              build ();
+              run_from_zero ()
+            end;
           (* Extract t_kj from the edge flows (dense) or the oracle's
              sparse allocation (compressed). *)
           let alloc = ref [] in
@@ -1176,6 +1260,14 @@ struct
           if !cand_count = 0 then
             failwith "Offline.solve: candidate set exhausted";
           refresh_conjecture ();
+          if cross_phase && use_compress then
+            (* The sweep oracle answers every compressed round's accept
+               test and victim certificate; the relaxation network's flow
+               is consulted by nobody mid-phase, so cross-phase mode skips
+               its per-round repair entirely and resumes it only at the
+               next phase boundary. *)
+            ()
+          else
           match strategy with
           | Resume ->
             repaired := true;
@@ -1207,6 +1299,8 @@ struct
             run_from_zero ()
         end
       done;
+      phase_edges := !phase_peak :: !phase_edges;
+      phase_waves := ((Flow.counters g).Flow.bfs_waves - !waves_mark) :: !phase_waves;
       (match !accepted with
       | None -> assert false
       | Some phase ->
@@ -1218,6 +1312,10 @@ struct
         done)
     done;
     let fc = Flow.counters g in
+    let phase_edges = Array.of_list (List.rev !phase_edges) in
+    (* The peak is taken over the recorded per-phase maxima — robust even
+       when a later phase's network is smaller than an earlier one's. *)
+    let net_edges = Array.fold_left max !net_edges phase_edges in
     {
       breakpoints;
       schedule_phases = List.rev !phases;
@@ -1228,9 +1326,13 @@ struct
           resumes = !resumes;
           removals = !removals;
           grouped = !grouped;
-          net_edges = !net_edges;
+          net_edges;
           net_pushes = fc.Flow.pushes;
           net_bfs_waves = fc.Flow.bfs_waves;
+          phase_resumes = !phase_resumes;
+          phase_drain_edges = !phase_drain_edges;
+          phase_edges;
+          phase_bfs_waves = Array.of_list (List.rev !phase_waves);
         };
     }
 
@@ -1315,8 +1417,8 @@ struct
   let parallel_threshold = 24
 
   let solve_split ?flow_algorithm ?victim_rule ?(strategy = Resume)
-      ?(group_removal = false) ?compress ?on_flow ?parallel ~ws_for ~machines
-      (jobs : job array) =
+      ?(group_removal = false) ?compress ?cross_phase ?on_flow ?on_phase
+      ?parallel ~ws_for ~machines (jobs : job array) =
     (* Validate up front (as [solve_in] would) so malformed inputs are
        rejected before any component dispatch. *)
     if machines <= 0 then invalid_arg "Offline.solve: machines <= 0";
@@ -1328,7 +1430,7 @@ struct
       jobs;
     let solve_whole () =
       solve_in ?flow_algorithm ?victim_rule ~strategy ~group_removal ?compress
-        ?on_flow ~ws:(ws_for 0) ~machines jobs
+        ?cross_phase ?on_flow ?on_phase ~ws:(ws_for 0) ~machines jobs
     in
     match components jobs with
     | [] | [ _ ] -> solve_whole ()
@@ -1378,7 +1480,8 @@ struct
           let ids, sub, _, _ = sliced.(slot) in
           match
             solve_in ?flow_algorithm ?victim_rule ~strategy ~group_removal
-              ?compress ?on_flow ~ws:wss.(slot) ~machines sub
+              ?compress ?cross_phase ?on_flow ?on_phase ~ws:wss.(slot)
+              ~machines sub
           with
           | r -> r
           | exception Stranded_job local -> raise (Stranded_job ids.(local))
@@ -1387,9 +1490,11 @@ struct
           match parallel with
           | Some b -> b
           | None ->
-            (* [on_flow] is a caller closure observed per round; keep its
-               invocations on the calling domain and in component order. *)
-            on_flow = None && Array.length jobs >= parallel_threshold
+            (* [on_flow]/[on_phase] are caller closures observed per round
+               or phase; keep their invocations on the calling domain and
+               in component order. *)
+            on_flow = None && on_phase = None
+            && Array.length jobs >= parallel_threshold
         in
         let runs =
           if use_parallel then
@@ -1450,6 +1555,18 @@ struct
               net_edges = peak (fun s -> s.net_edges);
               net_pushes = sum (fun s -> s.net_pushes);
               net_bfs_waves = sum (fun s -> s.net_bfs_waves);
+              phase_resumes = sum (fun s -> s.phase_resumes);
+              phase_drain_edges = sum (fun s -> s.phase_drain_edges);
+              (* Per-phase arrays concatenate in component (time) order —
+                 the order the runs themselves are listed in. *)
+              phase_edges =
+                Array.concat
+                  (List.map (fun (r : run) -> r.stats.phase_edges)
+                     (Array.to_list runs));
+              phase_bfs_waves =
+                Array.concat
+                  (List.map (fun (r : run) -> r.stats.phase_bfs_waves)
+                     (Array.to_list runs));
             };
         }
       end
@@ -1458,16 +1575,17 @@ struct
      Lemma 4 removals — exactly the PR 1 behaviour, now routed through the
      decomposition layer by default. *)
   let solve ?flow_algorithm ?victim_rule ?(incremental = true)
-      ?(decompose = true) ?compress ?parallel ?on_flow ~machines jobs =
+      ?(decompose = true) ?compress ?cross_phase ?parallel ?on_flow ?on_phase
+      ~machines jobs =
     let strategy = if incremental then Resume else Rebuild in
     if decompose then
-      solve_split ?flow_algorithm ?victim_rule ~strategy ?compress ?on_flow
-        ?parallel
+      solve_split ?flow_algorithm ?victim_rule ~strategy ?compress ?cross_phase
+        ?on_flow ?on_phase ?parallel
         ~ws_for:(fun _ -> make_workspace ())
         ~machines jobs
     else
-      solve_in ?flow_algorithm ?victim_rule ~strategy ?compress ?on_flow
-        ~ws:(make_workspace ()) ~machines jobs
+      solve_in ?flow_algorithm ?victim_rule ~strategy ?compress ?cross_phase
+        ?on_flow ?on_phase ~ws:(make_workspace ()) ~machines jobs
 
   (* --- cross-arrival solver sessions (Section 3.1, Lemmas 6–9) ----------
      A session owns a persistent workspace (flow arena, breakpoint-grid
@@ -1540,7 +1658,7 @@ struct
             (fun j -> if j < len then t.pool.(j) else make_workspace ());
       t.pool.(i)
 
-    let solve ?keys ?(decompose = true) ?compress ?parallel t jobs =
+    let solve ?keys ?(decompose = true) ?compress ?cross_phase ?parallel t jobs =
       (match keys with
       | Some ks when Array.length ks <> Array.length jobs ->
         invalid_arg "Offline.Session.solve: keys length mismatch"
@@ -1552,11 +1670,12 @@ struct
          already, so acceptance needs no re-extraction. *)
       let run =
         if decompose then
-          solve_split ~strategy:Rewind ~group_removal:true ?compress ?parallel
-            ~ws_for:(ws_slot t) ~machines:t.machines jobs
+          solve_split ~strategy:Rewind ~group_removal:true ?compress
+            ?cross_phase ?parallel ~ws_for:(ws_slot t) ~machines:t.machines
+            jobs
         else
-          solve_in ~strategy:Rewind ~group_removal:true ?compress ~ws:t.pool.(0)
-            ~machines:t.machines jobs
+          solve_in ~strategy:Rewind ~group_removal:true ?compress ?cross_phase
+            ~ws:t.pool.(0) ~machines:t.machines jobs
       in
       t.solves <- t.solves + 1;
       t.rounds <- t.rounds + run.stats.rounds;
@@ -1765,6 +1884,7 @@ type info = {
   rounds : int;
   resumes : int;
   removals : int;
+  phase_resumes : int;         (* cross-phase drain/rescale/resume boundaries *)
   speeds : float array;        (* decreasing phase speeds *)
 }
 
@@ -1857,13 +1977,14 @@ let slice_of_run ~machines (run : F.run) ~lo ~hi =
 let component_count (inst : Job.instance) =
   List.length (F.components (float_jobs inst))
 
-let solve ?incremental ?decompose ?compress ?parallel (inst : Job.instance) =
+let solve ?incremental ?decompose ?compress ?cross_phase ?parallel
+    (inst : Job.instance) =
   (match Job.validate inst with
   | [] -> ()
   | _ -> invalid_arg "Offline.solve: invalid instance");
   let run =
-    F.solve ?incremental ?decompose ?compress ?parallel ~machines:inst.machines
-      (float_jobs inst)
+    F.solve ?incremental ?decompose ?compress ?cross_phase ?parallel
+      ~machines:inst.machines (float_jobs inst)
   in
   let schedule = schedule_of_run ~machines:inst.machines run in
   let info =
@@ -1872,6 +1993,7 @@ let solve ?incremental ?decompose ?compress ?parallel (inst : Job.instance) =
       rounds = run.stats.rounds;
       resumes = run.stats.resumes;
       removals = run.stats.removals;
+      phase_resumes = run.stats.phase_resumes;
       speeds = Array.of_list (List.map (fun (p : F.phase) -> p.speed) run.schedule_phases);
     }
   in
@@ -1891,9 +2013,10 @@ let energy_of_run power (run : F.run) =
          Power.eval power p.speed *. F.phase_busy_time run p)
        run.schedule_phases)
 
-let run ?incremental ?decompose ?compress ?parallel (inst : Job.instance) =
-  F.solve ?incremental ?decompose ?compress ?parallel ~machines:inst.machines
-    (float_jobs inst)
+let run ?incremental ?decompose ?compress ?cross_phase ?parallel
+    (inst : Job.instance) =
+  F.solve ?incremental ?decompose ?compress ?cross_phase ?parallel
+    ~machines:inst.machines (float_jobs inst)
 
 (* Exact-rational replay: jobs are embedded exactly (floats are dyadic
    rationals) and the whole algorithm runs in exact arithmetic. *)
@@ -1904,5 +2027,6 @@ let exact_jobs (inst : Job.instance) =
       { Exact.release = r j.release; deadline = r j.deadline; work = r j.work })
     inst.jobs
 
-let solve_exact ?incremental ?compress (inst : Job.instance) =
-  Exact.solve ?incremental ?compress ~machines:inst.machines (exact_jobs inst)
+let solve_exact ?incremental ?compress ?cross_phase (inst : Job.instance) =
+  Exact.solve ?incremental ?compress ?cross_phase ~machines:inst.machines
+    (exact_jobs inst)

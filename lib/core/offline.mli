@@ -49,6 +49,19 @@ module MakeWith
     net_bfs_waves : int;
         (** total BFS passes (Dinic level builds / Edmonds–Karp path
             searches) across the solve's max-flow work *)
+    phase_resumes : int;
+        (** phase boundaries answered by the parametric drain / rescale /
+            resume instead of a network rebuild (see [cross_phase]); 0 in
+            legacy mode and on single-phase solves *)
+    phase_drain_edges : int;
+        (** flow-carrying forward edges drained across those boundaries —
+            the accepted jobs' flow support, counted before each drain *)
+    phase_edges : int array;
+        (** per phase, in phase order: the peak forward-edge count of its
+            round networks (concatenated in component order when
+            decomposed); {!stats.net_edges} is the maximum entry *)
+    phase_bfs_waves : int array;
+        (** per phase, in phase order: BFS passes spent in its rounds *)
   }
 
   type run = {
@@ -84,8 +97,10 @@ module MakeWith
     ?incremental:bool ->
     ?decompose:bool ->
     ?compress:bool ->
+    ?cross_phase:bool ->
     ?parallel:bool ->
     ?on_flow:(Flow.t -> unit) ->
+    ?on_phase:(int -> F.t -> Flow.t -> unit) ->
     machines:int ->
     job array ->
     run
@@ -128,6 +143,26 @@ module MakeWith
       differ (the oracle's and Dinic's flows are different maximum flows
       of the same accepting network — every member's total is its demand
       either way).  See DESIGN.md, "Interval-tree network compression".
+
+      [cross_phase] (default: on except in [incremental:false] runs and
+      under an [on_flow] hook) carries one flow arena across the whole
+      solve instead of rebuilding the network at every phase: an accepted
+      phase's flow is drained (it is supported entirely on the accepted
+      members), the surviving source capacities are rescaled from the old
+      speed to the next conjecture — the phase speeds strictly decrease,
+      so every [w/s] only grows and the monotone parametric invariant
+      keeps the installed flow feasible — and Dinic resumes over the warm
+      topology.  Outputs are bit-identical to the legacy per-phase
+      rebuilds on both the dense and compressed substrates; the work
+      saved is auditable through [stats.phase_resumes] /
+      [stats.phase_drain_edges] / [stats.phase_bfs_waves].  See
+      DESIGN.md, "Parametric cross-phase reuse".
+
+      [on_phase phase_idx speed g] fires once per phase (1-based index,
+      the phase's initial conjectured speed) right after the phase's
+      starting flow is installed — after the cross-phase
+      drain/rescale/resume at a phase boundary — a test hook for
+      auditing the persistent flow's feasibility.
       @raise Invalid_argument on malformed jobs.
       @raise Stranded_job only on internal failure (valid instances are
       always schedulable). *)
@@ -176,6 +211,7 @@ module MakeWith
       ?keys:int array ->
       ?decompose:bool ->
       ?compress:bool ->
+      ?cross_phase:bool ->
       ?parallel:bool ->
       t ->
       job array ->
@@ -229,6 +265,8 @@ type info = {
   rounds : int;
   resumes : int;
   removals : int;
+  phase_resumes : int;
+      (** phase boundaries answered by the cross-phase drain/rescale/resume *)
   speeds : float array;
 }
 
@@ -240,6 +278,7 @@ val solve :
   ?incremental:bool ->
   ?decompose:bool ->
   ?compress:bool ->
+  ?cross_phase:bool ->
   ?parallel:bool ->
   Ss_model.Job.instance ->
   Ss_model.Schedule.t * info
@@ -256,6 +295,7 @@ val run :
   ?incremental:bool ->
   ?decompose:bool ->
   ?compress:bool ->
+  ?cross_phase:bool ->
   ?parallel:bool ->
   Ss_model.Job.instance ->
   F.run
@@ -276,5 +316,9 @@ val slice_of_run :
     until the next arrival. *)
 
 val solve_exact :
-  ?incremental:bool -> ?compress:bool -> Ss_model.Job.instance -> Exact.run
+  ?incremental:bool ->
+  ?compress:bool ->
+  ?cross_phase:bool ->
+  Ss_model.Job.instance ->
+  Exact.run
 (** Exact-rational replay of the entire algorithm (floats embed exactly). *)

@@ -7,10 +7,14 @@
    plus conservation audits support the test suite.
 
    Representation: forward/backward edge pairs at indices (2k, 2k+1) in flat
-   arrays, adjacency as per-vertex growable rows of edge indices (in
-   insertion order, which every traversal follows deterministically).
-   Residual capacity of edge e is cap.(e) - flow.(e); pushing x along e adds
-   x to flow.(e) and subtracts x from flow.(e lxor 1).
+   arrays, adjacency in CSR-style flat int arrays — head.(v) is the first
+   edge id out of v, next.(e) chains to the following one, tail_.(v) makes
+   appends O(1) so the chain follows insertion order (which every traversal
+   depends on for determinism).  A whole adjacency walk therefore touches
+   three flat int arrays and the two flat caps/flows arrays, with no
+   per-vertex row indirection.  Residual capacity of edge e is
+   cap.(e) - flow.(e); pushing x along e adds x to flow.(e) and subtracts x
+   from flow.(e lxor 1).
 
    The arena is reusable: [clear] rewinds the edge count without freeing the
    flat arrays or the adjacency rows, [reserve] pre-sizes everything for a
@@ -31,9 +35,11 @@ type 'a graph = {
   mutable cap : 'a array;
   mutable flow : 'a array;
   mutable dst : int array;
-  mutable deg : int array;        (* edges leaving each vertex *)
-  mutable rows : int array array; (* per-vertex edge ids, insertion order *)
-  (* Dinic/BFS scratch, reused across runs. *)
+  mutable head : int array;       (* first edge id out of each vertex, -1 = none *)
+  mutable tail_ : int array;      (* last edge id out of each vertex, -1 = none *)
+  mutable next : int array;       (* per-edge successor in its vertex chain, -1 = end *)
+  (* Dinic/BFS scratch, reused across runs.  [iter_] holds the DFS arc
+     cursor per vertex as an edge id into the [next] chains. *)
   mutable level : int array;
   mutable iter_ : int array;
   mutable queue : int array;
@@ -53,8 +59,9 @@ module Make (F : Ss_numeric.Field.S) = struct
       cap = Array.make 16 F.zero;
       flow = Array.make 16 F.zero;
       dst = Array.make 16 0;
-      deg = Array.make (max n 1) 0;
-      rows = Array.make (max n 1) [||];
+      head = Array.make (max n 1) (-1);
+      tail_ = Array.make (max n 1) (-1);
+      next = Array.make 16 (-1);
       level = [||];
       iter_ = [||];
       queue = [||];
@@ -63,24 +70,27 @@ module Make (F : Ss_numeric.Field.S) = struct
     }
 
   let grow_vertices g n =
-    let len = Array.length g.deg in
+    let len = Array.length g.head in
     if n > len then begin
       let len' = max n (2 * len) in
-      let deg' = Array.make len' 0 in
-      Array.blit g.deg 0 deg' 0 len;
-      let rows' = Array.make len' [||] in
-      Array.blit g.rows 0 rows' 0 len;
-      g.deg <- deg';
-      g.rows <- rows'
+      let grow a =
+        let b = Array.make len' (-1) in
+        Array.blit a 0 b 0 len;
+        b
+      in
+      g.head <- grow g.head;
+      g.tail_ <- grow g.tail_
     end
 
   (* Rewind to an empty network on [n] vertices, keeping the flat
-     cap/flow/dst arrays and the adjacency rows so a round loop can rebuild
-     without reallocating. *)
+     cap/flow/dst/next arrays so a round loop can rebuild without
+     reallocating. *)
   let clear g ~n =
     if n < 0 then invalid_arg "Maxflow.clear: negative vertex count";
-    let live = max g.n (min n (Array.length g.deg)) in
-    Array.fill g.deg 0 (min live (Array.length g.deg)) 0;
+    let live = max g.n (min n (Array.length g.head)) in
+    let live = min live (Array.length g.head) in
+    Array.fill g.head 0 live (-1);
+    Array.fill g.tail_ 0 live (-1);
     grow_vertices g n;
     g.n <- n;
     g.m <- 0
@@ -96,7 +106,8 @@ module Make (F : Ss_numeric.Field.S) = struct
       in
       g.cap <- grow g.cap F.zero;
       g.flow <- grow g.flow F.zero;
-      g.dst <- grow g.dst 0
+      g.dst <- grow g.dst 0;
+      g.next <- grow g.next (-1)
     end
 
   (* Pre-size the arena so a known-shape rebuild triggers no growth inside
@@ -104,7 +115,7 @@ module Make (F : Ss_numeric.Field.S) = struct
      sessions count these to report arena churn. *)
   let reserve g ~vertices ~edges =
     let grew = ref false in
-    if vertices > Array.length g.deg then begin
+    if vertices > Array.length g.head then begin
       grow_vertices g vertices;
       grew := true
     end;
@@ -116,18 +127,15 @@ module Make (F : Ss_numeric.Field.S) = struct
     !grew
 
   (* Current allocation limits: (vertex slots, forward-edge slots). *)
-  let arena_capacity g = (Array.length g.deg, Array.length g.cap / 2)
+  let arena_capacity g = (Array.length g.head, Array.length g.cap / 2)
 
-  let push_row g v e =
-    let row = g.rows.(v) in
-    let len = Array.length row in
-    if g.deg.(v) = len then begin
-      let row' = Array.make (max 4 (2 * len)) 0 in
-      Array.blit row 0 row' 0 len;
-      g.rows.(v) <- row'
-    end;
-    g.rows.(v).(g.deg.(v)) <- e;
-    g.deg.(v) <- g.deg.(v) + 1
+  (* Append arc [e] to [v]'s chain — tail append keeps the chain in
+     insertion order. *)
+  let attach g v e =
+    g.next.(e) <- -1;
+    let t = g.tail_.(v) in
+    if t < 0 then g.head.(v) <- e else g.next.(t) <- e;
+    g.tail_.(v) <- e
 
   (* Returns the forward-edge id; the reverse edge (zero capacity) lives at
      [id + 1]. *)
@@ -142,17 +150,18 @@ module Make (F : Ss_numeric.Field.S) = struct
     g.cap.(id + 1) <- F.zero;
     g.flow.(id + 1) <- F.zero;
     g.dst.(id + 1) <- src;
-    push_row g src id;
-    push_row g dst (id + 1);
+    attach g src id;
+    attach g dst (id + 1);
     g.m <- id + 2;
     id
 
   (* Iterate the edges out of [v] in insertion order (the order every
      algorithm below depends on for determinism). *)
   let iter_adj g v f =
-    let row = g.rows.(v) and d = g.deg.(v) in
-    for idx = 0 to d - 1 do
-      f row.(idx)
+    let e = ref g.head.(v) in
+    while !e >= 0 do
+      f !e;
+      e := g.next.(!e)
     done
 
   let residual g e = F.sub g.cap.(e) g.flow.(e)
@@ -295,15 +304,16 @@ module Make (F : Ss_numeric.Field.S) = struct
       while !head < !tail do
         let u = queue.(!head) in
         incr head;
-        let row = g.rows.(u) and d = g.deg.(u) and lu = level.(u) + 1 in
-        for idx = 0 to d - 1 do
-          let e = row.(idx) in
-          let v = g.dst.(e) in
-          if level.(v) < 0 && positive (residual g e) then begin
+        let lu = level.(u) + 1 in
+        let e = ref g.head.(u) in
+        while !e >= 0 do
+          let v = g.dst.(!e) in
+          if level.(v) < 0 && positive (residual g !e) then begin
             level.(v) <- lu;
             queue.(!tail) <- v;
             incr tail
-          end
+          end;
+          e := g.next.(!e)
         done
       done;
       level.(sink) >= 0
@@ -313,9 +323,8 @@ module Make (F : Ss_numeric.Field.S) = struct
       else begin
         let result = ref F.zero in
         let continue = ref true in
-        let row = g.rows.(u) and d = g.deg.(u) in
-        while !continue && iter.(u) < d do
-          let e = row.(iter.(u)) in
+        while !continue && iter.(u) >= 0 do
+          let e = iter.(u) in
           let v = g.dst.(e) in
           let r = residual g e in
           if level.(v) = level.(u) + 1 && positive r then begin
@@ -325,9 +334,9 @@ module Make (F : Ss_numeric.Field.S) = struct
               result := pushed;
               continue := false
             end
-            else iter.(u) <- iter.(u) + 1
+            else iter.(u) <- g.next.(e)
           end
-          else iter.(u) <- iter.(u) + 1
+          else iter.(u) <- g.next.(e)
         done;
         !result
       end
@@ -340,7 +349,7 @@ module Make (F : Ss_numeric.Field.S) = struct
     in
     let total = ref F.zero in
     while bfs () do
-      Array.fill iter 0 g.n 0;
+      Array.blit g.head 0 iter 0 g.n;
       let rec drain () =
         let f = dfs source infinity_ in
         if positive f then begin
@@ -672,8 +681,8 @@ module Float = struct
     g.cap.(id + 1) <- 0.;
     g.flow.(id + 1) <- 0.;
     g.dst.(id + 1) <- src;
-    push_row g src id;
-    push_row g dst (id + 1);
+    attach g src id;
+    attach g dst (id + 1);
     g.m <- id + 2;
     id
 
@@ -690,6 +699,7 @@ module Float = struct
     fit_scratch g;
     let level = g.level and iter = g.iter_ and queue = g.queue in
     let cap = g.cap and flow = g.flow and dst = g.dst in
+    let head_ = g.head and next = g.next in
     let bfs () =
       g.bfs_waves <- g.bfs_waves + 1;
       Array.fill level 0 g.n (-1);
@@ -699,15 +709,16 @@ module Float = struct
       while !head < !tail do
         let u = queue.(!head) in
         incr head;
-        let row = g.rows.(u) and d = g.deg.(u) and lu = level.(u) + 1 in
-        for idx = 0 to d - 1 do
-          let e = row.(idx) in
-          let v = dst.(e) in
-          if level.(v) < 0 && positive_f (cap.(e) -. flow.(e)) then begin
+        let lu = level.(u) + 1 in
+        let e = ref head_.(u) in
+        while !e >= 0 do
+          let v = dst.(!e) in
+          if level.(v) < 0 && positive_f (cap.(!e) -. flow.(!e)) then begin
             level.(v) <- lu;
             queue.(!tail) <- v;
             incr tail
-          end
+          end;
+          e := next.(!e)
         done
       done;
       level.(sink) >= 0
@@ -717,9 +728,8 @@ module Float = struct
       else begin
         let result = ref 0. in
         let continue = ref true in
-        let row = g.rows.(u) and d = g.deg.(u) in
-        while !continue && iter.(u) < d do
-          let e = row.(iter.(u)) in
+        while !continue && iter.(u) >= 0 do
+          let e = iter.(u) in
           let v = dst.(e) in
           let r = cap.(e) -. flow.(e) in
           if level.(v) = level.(u) + 1 && positive_f r then begin
@@ -731,24 +741,25 @@ module Float = struct
               result := pushed;
               continue := false
             end
-            else iter.(u) <- iter.(u) + 1
+            else iter.(u) <- next.(e)
           end
-          else iter.(u) <- iter.(u) + 1
+          else iter.(u) <- next.(e)
         done;
         !result
       end
     in
     let infinity_ =
       let acc = ref 1. in
-      let row = g.rows.(source) and d = g.deg.(source) in
-      for idx = 0 to d - 1 do
-        acc := !acc +. cap.(row.(idx))
+      let e = ref head_.(source) in
+      while !e >= 0 do
+        acc := !acc +. cap.(!e);
+        e := next.(!e)
       done;
       !acc
     in
     let total = ref 0. in
     while bfs () do
-      Array.fill iter 0 g.n 0;
+      Array.blit head_ 0 iter 0 g.n;
       let rec drain () =
         let f = dfs source infinity_ in
         if positive_f f then begin
@@ -764,10 +775,11 @@ module Float = struct
 
   let flow_value (g : t) ~source =
     let acc = ref 0. in
-    let flow = g.flow in
-    let row = g.rows.(source) and d = g.deg.(source) in
-    for idx = 0 to d - 1 do
-      acc := !acc +. flow.(row.(idx))
+    let flow = g.flow and next = g.next in
+    let e = ref g.head.(source) in
+    while !e >= 0 do
+      acc := !acc +. flow.(!e);
+      e := next.(!e)
     done;
     !acc
 end

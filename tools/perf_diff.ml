@@ -142,6 +142,8 @@ let () =
         ("online_engine", [ "events"; "set_ops"; "segments"; "events_per_sec"; "speedup" ]);
         ( "throughput",
           [ "queries"; "hits"; "near_hits"; "hit_rate"; "steals"; "batch_qps"; "speedup" ] );
+        ( "cross_phase",
+          [ "phases"; "phase_resumes"; "phase_drain_edges"; "peak_edges"; "speedup" ] );
       ];
     if !regressions > 0 then begin
       Printf.printf "\n%d benchmark(s) regressed by more than %.0f%%\n" !regressions
