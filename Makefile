@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-json bench-large bench-online-large bench-throughput bench-crossphase bench-smoke perf-diff tables micro examples clean
+.PHONY: all build test lint lint-json bench bench-json bench-large bench-online-large bench-throughput bench-crossphase bench-smoke perf-diff tables micro examples clean
 
 all: build
 
@@ -9,6 +9,17 @@ build:
 
 test:
 	dune runtest
+
+# Static determinism/data-race lint (compiler-libs; rules R1-R5, see
+# DESIGN.md "Static analysis").  Part of the pre-PR checklist and of
+# every `dune runtest` via the @lint alias; exits nonzero on findings.
+lint:
+	dune exec tools/lint/ss_lint.exe -- lib bin bench
+
+# Machine-readable lint report; regenerates the committed LINT.json
+# baseline (always a clean report — findings fail `make lint` first).
+lint-json:
+	dune exec tools/lint/ss_lint.exe -- --json lib bin bench > LINT.json
 
 test-output:
 	dune runtest --force --no-buffer 2>&1 | tee test_output.txt

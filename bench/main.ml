@@ -597,7 +597,7 @@ let run_micro ?json_file ?(smoke = false) () =
         in
         (name, ns) :: acc)
       results []
-    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in
   let printable =
     List.map

@@ -303,9 +303,10 @@ let batch path algo alpha domains capacity no_cache verbose =
     let queries =
       Array.map (fun instance -> { Ss_dispatch.Dispatch.algo = algo_v; instance }) insts
     in
+    (* ss_lint: allow wallclock — CLI throughput report only, never enters a schedule *)
     let t0 = Unix.gettimeofday () in
     let outcomes = Ss_dispatch.Dispatch.batch d queries in
-    let elapsed = Unix.gettimeofday () -. t0 in
+    let elapsed = Unix.gettimeofday () -. t0 in (* ss_lint: allow wallclock — CLI throughput report *)
     let s = Ss_dispatch.Dispatch.stats d in
     Ss_dispatch.Dispatch.shutdown d;
     let energy = function

@@ -9,7 +9,6 @@
    (2) manages idle gaps with a sleep state,
    and reports how close the deployable schedule stays to the ideal. *)
 
-module Job = Ss_model.Job
 module Power = Ss_model.Power
 module Schedule = Ss_model.Schedule
 module Table = Ss_numeric.Table

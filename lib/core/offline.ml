@@ -92,7 +92,7 @@ struct
      between solves (and a fresh workspace per call reproduces the
      non-session behaviour exactly). *)
   type workspace = {
-    mutable g : Flow.t;
+    g : Flow.t;
     mutable nslots : int;           (* job-indexed array capacity *)
     mutable kslots : int;           (* interval-indexed array capacity *)
     mutable widths : F.t array;
@@ -1315,7 +1315,7 @@ struct
     let phase_edges = Array.of_list (List.rev !phase_edges) in
     (* The peak is taken over the recorded per-phase maxima — robust even
        when a later phase's network is smaller than an earlier one's. *)
-    let net_edges = Array.fold_left max !net_edges phase_edges in
+    let net_edges = Array.fold_left Int.max !net_edges phase_edges in
     {
       breakpoints;
       schedule_phases = List.rev !phases;
@@ -1373,7 +1373,7 @@ struct
       Array.sort
         (fun a b ->
           match F.compare jobs.(a).release jobs.(b).release with
-          | 0 -> compare a b
+          | 0 -> Int.compare a b
           | c -> c)
         order;
       let comps = ref [] in
@@ -1395,7 +1395,7 @@ struct
       List.rev_map
         (fun ids ->
           let a = Array.of_list ids in
-          Array.sort compare a;
+          Array.sort Int.compare a;
           a)
         !comps
     end
@@ -1520,12 +1520,13 @@ struct
           | a :: b :: rest when F.compare a.speed b.speed = 0 ->
             coalesce
               ({
-                 members = List.merge compare a.members b.members;
+                 members = List.merge Int.compare a.members b.members;
                  speed = a.speed;
                  procs = Array.init k (fun j -> a.procs.(j) + b.procs.(j));
                  alloc =
                    List.merge
-                     (fun (i1, j1, _) (i2, j2, _) -> compare (i1, j1) (i2, j2))
+                     (fun (i1, j1, _) (i2, j2, _) ->
+                       match Int.compare i1 i2 with 0 -> Int.compare j1 j2 | c -> c)
                      a.alloc b.alloc;
                }
               :: rest)
@@ -1875,7 +1876,6 @@ module F = MakeWith (Ss_numeric.Field.Float) (Ss_flow.Maxflow.Float)
 module Exact = Make (Ss_numeric.Rational.Field)
 
 module Job = Ss_model.Job
-module Interval = Ss_model.Interval
 module Power = Ss_model.Power
 module Schedule = Ss_model.Schedule
 
@@ -1926,8 +1926,8 @@ let schedule_of_run ~machines (run : F.run) =
 (* Same (proc, t0, job) order as Schedule.make installs, so a slice equals
    the clipped full schedule segment-for-segment, in sequence. *)
 let compare_segment (a : Schedule.segment) (b : Schedule.segment) =
-  match compare a.proc b.proc with
-  | 0 -> (match Float.compare a.t0 b.t0 with 0 -> compare a.job b.job | c -> c)
+  match Int.compare a.proc b.proc with
+  | 0 -> (match Float.compare a.t0 b.t0 with 0 -> Int.compare a.job b.job | c -> c)
   | c -> c
 
 (* Materialize only the part of a run that overlaps [lo, hi): wrap-pack

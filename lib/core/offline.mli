@@ -10,7 +10,7 @@
 
 module MakeWith
     (F : Ss_numeric.Field.S)
-    (Flow_impl : module type of Ss_flow.Maxflow.Make (F)) : sig
+    (_ : module type of Ss_flow.Maxflow.Make (F)) : sig
   module Flow : module type of Ss_flow.Maxflow.Make (F)
   (** The flow substrate this instantiation runs on; exposed so tests can
       audit the warm-started flows via [on_flow]. *)

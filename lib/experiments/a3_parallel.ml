@@ -10,9 +10,10 @@ module Table = Ss_numeric.Table
 module Power = Ss_model.Power
 
 let wall f =
+  (* ss_lint: allow wallclock — A3 measures parallel speedup, the clock IS the experiment *)
   let t0 = Unix.gettimeofday () in
   let r = f () in
-  (r, (Unix.gettimeofday () -. t0) *. 1000.)
+  (r, (Unix.gettimeofday () -. t0) *. 1000.) (* ss_lint: allow wallclock — speedup measurement *)
 
 (* Fallback when Unix is unavailable: Sys.time measures CPU seconds which
    is the wrong metric for parallel speedup, so we use a monotonic clock

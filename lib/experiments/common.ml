@@ -27,9 +27,10 @@ let outcome ?(notes = []) tables = { tables; notes }
 (* CPU-time measurement for the runtime experiments (E2, F4).  CPU time is
    the right metric when comparing algorithmic routes on one core. *)
 let time_it f =
+  (* ss_lint: allow wallclock — E2/F4 runtime experiments time algorithmic routes *)
   let t0 = Sys.time () in
   let result = f () in
-  let t1 = Sys.time () in
+  let t1 = Sys.time () in (* ss_lint: allow wallclock — runtime experiment *)
   (result, (t1 -. t0) *. 1000.)
 
 (* Median-of-k timing to stabilize small measurements. *)

@@ -205,7 +205,7 @@ let solve ?(eps = default_eps) problem =
     let bj = basis.(i) in
     if bj < n then begin
       let c = problem.objective.(bj) in
-      if c <> 0. then
+      if not (Float.equal c 0.) then
         for k = 0 to ncols do
           zrow.(k) <- zrow.(k) +. (c *. tab.(i).(k))
         done

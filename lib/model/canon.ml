@@ -13,7 +13,7 @@ type transform = {
 let identity n = { dt = 0.; wexp = 0; perm = Array.init n Fun.id }
 
 let is_identity tf =
-  tf.dt = 0. && tf.wexp = 0
+  Float.equal tf.dt 0. && tf.wexp = 0
   && Array.for_all (fun x -> x) (Array.mapi (fun i j -> i = j) tf.perm)
 
 (* Integers up to 2^52 in magnitude: differences stay within the exact
@@ -79,7 +79,15 @@ let canonicalize ?(shift = true) ?(sort = true) (inst : Job.instance) =
       let (j : Job.t) = inst.jobs.(i) in
       (j.release, j.deadline, j.work, i)
     in
-    Array.sort (fun a b -> compare (key a) (key b)) perm
+    let compare_key (r1, d1, w1, i1) (r2, d2, w2, i2) =
+      match Float.compare r1 r2 with
+      | 0 -> (
+        match Float.compare d1 d2 with
+        | 0 -> ( match Float.compare w1 w2 with 0 -> Int.compare i1 i2 | c -> c)
+        | c -> c)
+      | c -> c
+    in
+    Array.sort (fun a b -> compare_key (key a) (key b)) perm
   end;
   let tf = { dt; wexp; perm } in
   (apply tf inst, tf)

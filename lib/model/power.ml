@@ -23,7 +23,8 @@ let poly terms =
   List.iter
     (fun (c, e) ->
       if c < 0. then invalid_arg "Power.poly: negative coefficient breaks convexity";
-      if e < 1. && e <> 0. then invalid_arg "Power.poly: exponent in (0,1) breaks convexity")
+      if e < 1. && not (Float.equal e 0.) then
+        invalid_arg "Power.poly: exponent in (0,1) breaks convexity")
     terms;
   Poly terms
 
@@ -44,7 +45,7 @@ let deriv p s =
   | Alpha a -> a *. (s ** (a -. 1.))
   | Poly terms ->
     Ss_numeric.Kahan.sum_list
-      (List.map (fun (c, e) -> if e = 0. then 0. else c *. e *. (s ** (e -. 1.))) terms)
+      (List.map (fun (c, e) -> if Float.equal e 0. then 0. else c *. e *. (s ** (e -. 1.))) terms)
   | Custom { deriv; _ } -> deriv s
 
 (* g(s) = s P'(s) - P(s): the marginal water-filling level.  It is
@@ -62,7 +63,7 @@ let name = function
     String.concat " + "
       (List.map
          (fun (c, e) ->
-           if e = 0. then Printf.sprintf "%g" c else Printf.sprintf "%g*s^%g" c e)
+           if Float.equal e 0. then Printf.sprintf "%g" c else Printf.sprintf "%g*s^%g" c e)
          terms)
   | Custom { name; _ } -> name
 

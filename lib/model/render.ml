@@ -70,7 +70,7 @@ let render ?(config = default_config) ?(t0 = Float.nan) ?(t1 = Float.nan)
     (* Legend: letters in use. *)
     let used = Hashtbl.create 16 in
     Array.iter (fun (s : Schedule.segment) -> Hashtbl.replace used s.job ()) segments;
-    let ids = Hashtbl.fold (fun k () acc -> k :: acc) used [] |> List.sort compare in
+    let ids = Hashtbl.fold (fun k () acc -> k :: acc) used [] |> List.sort Int.compare in
     let legend =
       List.map (fun i -> Printf.sprintf "%c=J%d" (job_letter i) i) ids
       |> String.concat " "

@@ -26,8 +26,8 @@ type t = {
 }
 
 let compare_segment a b =
-  match compare a.proc b.proc with
-  | 0 -> (match Float.compare a.t0 b.t0 with 0 -> compare a.job b.job | c -> c)
+  match Int.compare a.proc b.proc with
+  | 0 -> (match Float.compare a.t0 b.t0 with 0 -> Int.compare a.job b.job | c -> c)
   | c -> c
 
 let make ~machines segments =

@@ -80,14 +80,14 @@ let to_float a =
 
 let compare_mag x y =
   let nx = Array.length x and ny = Array.length y in
-  if nx <> ny then compare nx ny
+  if nx <> ny then Int.compare nx ny
   else begin
-    let rec go i = if i < 0 then 0 else if x.(i) <> y.(i) then compare x.(i) y.(i) else go (i - 1) in
+    let rec go i = if i < 0 then 0 else if x.(i) <> y.(i) then Int.compare x.(i) y.(i) else go (i - 1) in
     go (nx - 1)
   end
 
 let compare a b =
-  if a.sign <> b.sign then compare a.sign b.sign
+  if a.sign <> b.sign then Int.compare a.sign b.sign
   else if a.sign >= 0 then compare_mag a.mag b.mag
   else compare_mag b.mag a.mag
 

@@ -66,7 +66,7 @@ let to_float t = Bigint.to_float t.num /. Bigint.to_float t.den
 (* Exact embedding of an IEEE-754 double: decompose into mantissa * 2^e. *)
 let of_float x =
   if not (Float.is_finite x) then invalid_arg "Rational.of_float: not finite";
-  if x = 0. then zero
+  if Float.equal x 0. then zero
   else begin
     let m, e = Float.frexp x in
     (* m in [0.5, 1); m * 2^53 is integral. *)

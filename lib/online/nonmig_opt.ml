@@ -18,8 +18,6 @@
    Nonner, Souza — the paper's ref [8]) in experiment E12. *)
 
 module Job = Ss_model.Job
-module Power = Ss_model.Power
-module Schedule = Ss_model.Schedule
 
 type result = {
   energy : float;

@@ -41,7 +41,7 @@ let assign strategy (inst : Job.instance) =
   Array.sort
     (fun a b ->
       match Float.compare inst.jobs.(a).release inst.jobs.(b).release with
-      | 0 -> compare a b
+      | 0 -> Int.compare a b
       | c -> c)
     order;
   let assignment = Array.make n 0 in

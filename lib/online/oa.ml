@@ -84,7 +84,8 @@ let run_detailed ?(tol = default_tol) ?(incremental = true) ?streaming ?stats
         (fun (ph : Offline.F.phase) ->
           List.map (fun local -> (ids.(local), ph.speed)) ph.members)
         run.schedule_phases
-      |> List.sort compare
+      |> List.sort (fun (i1, s1) (i2, s2) ->
+             match Int.compare i1 i2 with 0 -> Float.compare s1 s2 | c -> c)
     in
     plans := { at = now; upto; job_speeds } :: !plans;
     (* Follow the plan until the next arrival; remap to original ids. *)

@@ -62,6 +62,7 @@ let map ?domains f arr =
               let hi = min n (base + chunk) in
               (try
                  for i = base to hi - 1 do
+                   (* ss_lint: allow domain-race — writes land at disjoint indices; claims go through Atomic.fetch_and_add *)
                    if Atomic.get error = None then results.(i) <- Some (f arr.(i))
                  done
                with e -> ignore (Atomic.compare_and_set error None (Some e)));

@@ -263,7 +263,12 @@ let batch ?(duplicate_rate = 0.5) ~seed ~machines ~count ~jobs () =
     let a = Array.copy inst.jobs in
     Array.sort
       (fun (a : Job.t) (b : Job.t) ->
-        compare (a.release, a.deadline, a.work) (b.release, b.deadline, b.work))
+        match Float.compare a.release b.release with
+        | 0 -> (
+          match Float.compare a.deadline b.deadline with
+          | 0 -> Float.compare a.work b.work
+          | c -> c)
+        | c -> c)
       a;
     { inst with jobs = a }
   in

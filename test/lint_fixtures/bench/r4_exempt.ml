@@ -1,0 +1,10 @@
+(* R4 scope fixture: the path contains bench/, so wall-clock and RNG are
+   allowed here.  Never compiled. *)
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let jitter () = Random.float 1.0
+let cpu () = Sys.time ()

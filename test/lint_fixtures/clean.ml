@@ -1,0 +1,11 @@
+(* A fixture every rule should pass: typed compares, Float.equal,
+   sorted Hashtbl escapes, no clocks, no shared-mutable captures. *)
+
+let order xs = List.sort Int.compare xs
+let same x y = Float.equal x y
+let keys h = Hashtbl.fold (fun k _ acc -> k :: acc) h [] |> List.sort String.compare
+
+let sum xs =
+  let acc = ref 0 in
+  List.iter (fun x -> acc := !acc + x) xs;
+  !acc

@@ -1,0 +1,12 @@
+(* R1 hot-path fixture: the path contains lib/flow/, so the extended
+   float-monomorphic checks apply.  Never compiled. *)
+
+let bad_min a b = min (a *. 2.) b
+let bad_max a b = max a (b +. 1.)
+let bad_eq a b = a +. 1. = b
+let bad_ne a b = a <> b /. 2.
+let bad_value xs = Array.fold_left max 0 xs
+let ok_float_min a b = Float.min a b
+let ok_float_eq a b = Float.equal (a +. 1.) b
+let ok_int_min (a : int) b = if a < b then a else b
+let suppressed a b = min (a *. 2.) b (* ss_lint: allow poly-compare — fixture: hot-path min *)

@@ -1,0 +1,5 @@
+(* R4 scope fixture: lib/workload/generators.ml is the sanctioned home of
+   randomness (seeded generators), so Random.* passes here.  Never
+   compiled. *)
+
+let roll seed = Random.init seed; Random.int 100

@@ -1,0 +1,19 @@
+(* R1 fixture: bare polymorphic compare — applied or passed to a sort.
+   Never compiled; only parsed by ss_lint. *)
+
+let bad_passed xs = List.sort compare xs
+let bad_applied a b = compare a b
+let bad_merge xs ys = List.merge compare xs ys
+let ok_typed xs = List.sort Int.compare xs
+let ok_qualified a b = Float.compare a b
+
+(* A local binding shadows the Stdlib name: stays clean. *)
+let ok_rebound a b =
+  let compare a b = Int.compare a b in
+  compare a b
+
+let suppressed xs = List.sort compare xs (* ss_lint: allow poly-compare — fixture: reason *)
+
+(* Comment alone on the line above also suppresses: *)
+(* ss_lint: allow R1 — fixture: covers next line *)
+let suppressed_above xs = List.sort compare xs

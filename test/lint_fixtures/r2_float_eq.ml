@@ -1,0 +1,11 @@
+(* R2 fixture: equality against float literals.  Never compiled. *)
+
+let bad_eq x = x = 0.5
+let bad_ne x = x <> 1e-9
+let bad_flipped x = 0.0 = x
+let bad_neg x = x = -1.5
+let bad_phys x = x == 2.25
+let ok_explicit x = Float.equal x 0.5
+let ok_inequality x = x <= 0.5
+let ok_int x = x = 3
+let suppressed x = x = 0.5 (* ss_lint: allow float-eq — fixture: exact sentinel *)

@@ -1,0 +1,15 @@
+(* R3 fixture: Hashtbl iteration order escaping unsorted.  Never compiled. *)
+
+let bad_fold h = Hashtbl.fold (fun k _ acc -> k :: acc) h []
+let bad_iter f h = Hashtbl.iter f h
+
+let ok_piped h =
+  Hashtbl.fold (fun k _ acc -> k :: acc) h [] |> List.sort Int.compare
+
+let ok_wrapped h =
+  List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) h [])
+
+let ok_sort_uniq h =
+  List.sort_uniq Int.compare (Hashtbl.fold (fun k _ acc -> k :: acc) h [])
+
+let suppressed h = Hashtbl.fold (fun k _ a -> k :: a) h [] (* ss_lint: allow hashtbl-order — fixture *)

@@ -1,0 +1,10 @@
+(* R4 fixture: nondeterminism sources outside bench/ and the workload
+   generators.  Never compiled. *)
+
+let bad_random () = Random.int 10
+let bad_random_self () = Random.self_init ()
+let bad_cpu () = Sys.time ()
+let bad_wall () = Unix.gettimeofday ()
+let bad_unix_time () = Unix.time ()
+let ok_counter c = Atomic.fetch_and_add c 1
+let suppressed () = Sys.time () (* ss_lint: allow wallclock — fixture: timing harness *)

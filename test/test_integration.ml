@@ -2,7 +2,6 @@
    scenario, energy orderings across all algorithms, and the exact/float
    certification story end-to-end. *)
 
-module Job = Ss_model.Job
 module Power = Ss_model.Power
 module Schedule = Ss_model.Schedule
 module Offline = Ss_core.Offline

@@ -1,7 +1,6 @@
 (* Tests for the JSON substrate and the instance/schedule export layer. *)
 
 module Json = Ss_numeric.Json
-module Job = Ss_model.Job
 module Schedule = Ss_model.Schedule
 module Export = Ss_model.Export
 

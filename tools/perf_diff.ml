@@ -65,12 +65,25 @@ let section doc name ~label =
 let field key row =
   match Json.member key row with Some v -> Json.to_float_opt v | None -> None
 
+(* ss_lint --json reports live next to the BENCH_*.json snapshots (the
+   committed LINT.json baseline); they carry no timings, so diffing one is
+   a no-op rather than an error — a glob over *.json must stay usable. *)
+let is_lint_report doc =
+  match Json.member "tool" doc with
+  | Some v -> ( match Json.to_string_opt v with Some "ss_lint" -> true | _ -> false)
+  | None -> false
+
 let pct r = (r -. 1.) *. 100.
 
 let () =
   match List.rev !files with
   | [ old_file; new_file ] ->
     let old_doc = load old_file and new_doc = load new_file in
+    if is_lint_report old_doc || is_lint_report new_doc then begin
+      Printf.printf "perf diff: %s -> %s: ss_lint report(s), no timings to compare\n"
+        old_file new_file;
+      exit 0
+    end;
     let old_b = section old_doc "benchmarks" ~label:"name" in
     let new_b = section new_doc "benchmarks" ~label:"name" in
     let regressions = ref 0 in
